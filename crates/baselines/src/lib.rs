@@ -1,0 +1,21 @@
+//! Comparators the LFRC paper positions itself against.
+//!
+//! * [`valois`] — CAS-only reference counting over a **type-stable
+//!   freelist**, in the style of Valois (the paper's \[19\]). The paper's
+//!   §1 critique: such schemes are "forced to maintain unused nodes
+//!   explicitly in a freelist, thereby preventing the space consumption
+//!   of a list from shrinking over time". Experiment E3 measures exactly
+//!   that; experiment E9 compares throughput.
+//! * [`locked`] — mutex-protected deque/stack/queue. The baselines the
+//!   paper's lock-free motivation argues against: simple and often fast
+//!   uncontended, but any delayed lock-holder delays everyone
+//!   (experiment E4).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod locked;
+pub mod valois;
+
+pub use locked::{LockedDeque, LockedQueue, LockedStack};
+pub use valois::ValoisStack;

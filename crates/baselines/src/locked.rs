@@ -1,0 +1,173 @@
+//! Mutex-based baselines.
+//!
+//! The paper motivates lock-freedom by the "problems associated with
+//! locking, including performance bottlenecks, susceptibility to delays
+//! and failures, design complications, and, in real-time systems,
+//! priority inversion" (§1). These baselines supply the other side of
+//! those comparisons: a `parking_lot`-locked `VecDeque` behind each of
+//! the three structure traits.
+//!
+//! [`LockedDeque`] is generic over the same pause policy as the Snark
+//! variants, with its pause point placed **inside** the critical section:
+//! experiment E4 stalls a thread there to show every other thread
+//! blocking — the failure mode lock-free structures rule out.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+
+use lfrc_deque::{ConcurrentDeque, NoPause, PausePolicy, PauseSite};
+use lfrc_structures::{ConcurrentQueue, ConcurrentStack};
+use parking_lot::Mutex;
+
+/// A deque protected by a single mutex.
+pub struct LockedDeque<P: PausePolicy = NoPause> {
+    inner: Mutex<VecDeque<u64>>,
+    _pause: PhantomData<P>,
+}
+
+impl<P: PausePolicy> fmt::Debug for LockedDeque<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedDeque")
+            .field("len", &self.inner.lock().len())
+            .finish()
+    }
+}
+
+impl<P: PausePolicy> Default for LockedDeque<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: PausePolicy> LockedDeque<P> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        LockedDeque {
+            inner: Mutex::new(VecDeque::new()),
+            _pause: PhantomData,
+        }
+    }
+}
+
+impl<P: PausePolicy> ConcurrentDeque for LockedDeque<P> {
+    fn push_left(&self, value: u64) {
+        let mut g = self.inner.lock();
+        P::pause(PauseSite::PushBeforeDcas); // inside the critical section
+        g.push_front(value);
+    }
+
+    fn push_right(&self, value: u64) {
+        let mut g = self.inner.lock();
+        P::pause(PauseSite::PushBeforeDcas);
+        g.push_back(value);
+    }
+
+    fn pop_left(&self) -> Option<u64> {
+        let mut g = self.inner.lock();
+        P::pause(PauseSite::PopBeforeDcas); // inside the critical section
+        g.pop_front()
+    }
+
+    fn pop_right(&self) -> Option<u64> {
+        let mut g = self.inner.lock();
+        P::pause(PauseSite::PopBeforeDcas);
+        g.pop_back()
+    }
+
+    fn impl_name(&self) -> String {
+        "deque-locked/mutex".to_owned()
+    }
+}
+
+/// A stack protected by a single mutex.
+#[derive(Debug, Default)]
+pub struct LockedStack {
+    inner: Mutex<Vec<u64>>,
+}
+
+impl LockedStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ConcurrentStack for LockedStack {
+    fn push(&self, value: u64) {
+        self.inner.lock().push(value);
+    }
+
+    fn pop(&self) -> Option<u64> {
+        self.inner.lock().pop()
+    }
+
+    fn impl_name(&self) -> String {
+        "stack-locked/mutex".to_owned()
+    }
+}
+
+/// A queue protected by a single mutex.
+#[derive(Debug, Default)]
+pub struct LockedQueue {
+    inner: Mutex<VecDeque<u64>>,
+}
+
+impl LockedQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ConcurrentQueue for LockedQueue {
+    fn enqueue(&self, value: u64) {
+        self.inner.lock().push_back(value);
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        self.inner.lock().pop_front()
+    }
+
+    fn impl_name(&self) -> String {
+        "queue-locked/mutex".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locked_deque_semantics() {
+        let d: LockedDeque = LockedDeque::new();
+        d.push_right(1);
+        d.push_left(2);
+        d.push_right(3);
+        assert_eq!(d.pop_left(), Some(2));
+        assert_eq!(d.pop_right(), Some(3));
+        assert_eq!(d.pop_left(), Some(1));
+        assert_eq!(d.pop_left(), None);
+        assert_eq!(d.pop_right(), None);
+    }
+
+    #[test]
+    fn locked_stack_semantics() {
+        let s = LockedStack::new();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn locked_queue_semantics() {
+        let q = LockedQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+}

@@ -1,0 +1,420 @@
+//! Valois-style CAS-only reference counting over a type-stable freelist.
+//!
+//! This is the scheme the paper contrasts with (§1 and §5): reference
+//! counts maintained with plain single-word CAS. Without DCAS, the count
+//! increment in a load cannot be made atomic with a check that the
+//! pointer still exists, so the increment may land on a node that has
+//! already been freed. Valois's resolution (the paper's \[19\]) is to make
+//! that landing *harmless* instead of impossible: freed nodes return to a
+//! **freelist** and their memory stays a node forever (type-stable), so a
+//! stray `rc` increment touches a dormant node, detectably, rather than
+//! corrupting an arbitrary reallocation.
+//!
+//! The price is the paper's critique: the pool high-water-marks — "the
+//! space consumption of a list [cannot shrink] over time", and the memory
+//! can never be reused for anything else. [`ValoisStack::pool_nodes`]
+//! exposes the footprint for experiment E3.
+//!
+//! Protocol notes (a corrected, simplified rendering — Valois's original
+//! had errata, later fixed by Michael & Scott):
+//!
+//! * `rc == 0` means "owned by the freelist". A counted load CASes the
+//!   count from `r` to `r + 1` only for `r ≥ 1`, then re-validates the
+//!   source pointer; landing on a recycled node is benign because the
+//!   increment-validate pair targets whatever incarnation currently owns
+//!   the address — which is exactly the node the validated pointer
+//!   denotes.
+//! * The freelist head carries a 16-bit generation tag (packed above the
+//!   48-bit address) to defeat freelist-pop ABA.
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// One pool node. Lives forever once allocated (type-stable memory).
+struct VNode {
+    /// Reference count; `0` = in the freelist.
+    rc: AtomicI64,
+    /// Stack link (address of the next `VNode`, or 0).
+    next: AtomicU64,
+    /// Freelist link.
+    free_next: AtomicU64,
+    /// The stored value.
+    value: AtomicU64,
+    /// Intrusive membership in the pool's all-nodes list (freed at pool
+    /// drop only).
+    all_next: *mut VNode,
+}
+
+unsafe impl Send for VNode {}
+unsafe impl Sync for VNode {}
+
+const TAG_SHIFT: u32 = 48;
+const ADDR_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+#[inline]
+fn pack(ptr: *mut VNode, tag: u64) -> u64 {
+    debug_assert_eq!(ptr as u64 & !ADDR_MASK, 0, "address exceeds 48 bits");
+    (ptr as u64) | (tag << TAG_SHIFT)
+}
+
+#[inline]
+fn unpack(word: u64) -> (*mut VNode, u64) {
+    ((word & ADDR_MASK) as *mut VNode, word >> TAG_SHIFT)
+}
+
+/// The type-stable node pool: grows, never shrinks.
+struct Pool {
+    /// Tagged Treiber stack of free nodes.
+    free_head: AtomicU64,
+    /// All nodes ever allocated (intrusive list; freed at pool drop).
+    all_head: AtomicU64,
+    /// Total nodes ever allocated — the footprint that never shrinks.
+    allocated: AtomicU64,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Pool {
+            free_head: AtomicU64::new(0),
+            all_head: AtomicU64::new(0),
+            allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a node from the freelist, or mints a new one.
+    /// The returned node has `rc == 1` (the caller's reference).
+    fn alloc(&self, value: u64) -> *mut VNode {
+        // Freelist pop with generation tag.
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            let (node, tag) = unpack(head);
+            if node.is_null() {
+                break;
+            }
+            // Safety: type-stable — nodes are never deallocated while the
+            // pool lives, so this dereference is always into a `VNode`.
+            let next = unsafe { (*node).free_next.load(Ordering::Acquire) };
+            if self
+                .free_head
+                .compare_exchange(head, pack(unpack(next).0, tag + 1), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Safety: we own the node now.
+                unsafe {
+                    (*node).rc.store(1, Ordering::SeqCst);
+                    (*node).value.store(value, Ordering::SeqCst);
+                    (*node).next.store(0, Ordering::SeqCst);
+                }
+                return node;
+            }
+        }
+        // Mint a fresh node and thread it onto the all-list.
+        let node = Box::into_raw(Box::new(VNode {
+            rc: AtomicI64::new(1),
+            next: AtomicU64::new(0),
+            free_next: AtomicU64::new(0),
+            value: AtomicU64::new(value),
+            all_next: ptr::null_mut(),
+        }));
+        self.allocated.fetch_add(1, Ordering::AcqRel);
+        loop {
+            let head = self.all_head.load(Ordering::Acquire);
+            // Safety: not yet shared.
+            unsafe { (*node).all_next = head as *mut VNode };
+            if self
+                .all_head
+                .compare_exchange(head, node as u64, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return node;
+            }
+        }
+    }
+
+    /// Returns a zero-count node to the freelist.
+    fn recycle(&self, node: *mut VNode) {
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            let (_, tag) = unpack(head);
+            // Safety: type-stable; we exclusively own a zero-count node.
+            unsafe { (*node).free_next.store(head & ADDR_MASK, Ordering::Release) };
+            if self
+                .free_head
+                .compare_exchange(head, pack(node, tag + 1), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        let mut cur = (*self.all_head.get_mut() & ADDR_MASK) as *mut VNode;
+        while !cur.is_null() {
+            // Safety: exclusive at drop; every node is on the all-list
+            // exactly once.
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.all_next;
+        }
+    }
+}
+
+/// A Treiber stack whose nodes are reference-counted with **CAS only**,
+/// over a type-stable freelist pool — the Valois-style baseline.
+///
+/// # Example
+///
+/// ```
+/// use lfrc_baselines::ValoisStack;
+/// use lfrc_structures::ConcurrentStack;
+///
+/// let s = ValoisStack::new();
+/// s.push(1);
+/// s.push(2);
+/// assert_eq!(s.pop(), Some(2));
+/// assert_eq!(s.pop(), Some(1));
+/// assert_eq!(s.pop(), None);
+/// // The pool keeps both nodes forever:
+/// assert_eq!(s.pool_nodes(), 2);
+/// ```
+pub struct ValoisStack {
+    head: AtomicU64,
+    pool: Pool,
+}
+
+impl fmt::Debug for ValoisStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ValoisStack")
+            .field("pool_nodes", &self.pool_nodes())
+            .finish()
+    }
+}
+
+impl Default for ValoisStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ValoisStack {
+    /// Creates an empty stack with an empty pool.
+    pub fn new() -> Self {
+        ValoisStack {
+            head: AtomicU64::new(0),
+            pool: Pool::new(),
+        }
+    }
+
+    /// Total nodes the pool has ever minted. Monotonic — this is the
+    /// footprint experiment E3 contrasts with LFRC's shrinking census.
+    pub fn pool_nodes(&self) -> u64 {
+        self.pool.allocated.load(Ordering::Acquire)
+    }
+
+    /// The CAS-only counted load of `cell` (the protocol the paper's §1
+    /// explains cannot be made safe without type-stable memory).
+    fn load_counted(&self, cell: &AtomicU64) -> Option<*mut VNode> {
+        loop {
+            let p = cell.load(Ordering::Acquire) as *mut VNode;
+            if p.is_null() {
+                return None;
+            }
+            // Safety: type-stable pool memory — even if the node was
+            // freed (or recycled) between the load above and here, this
+            // address is still a VNode.
+            let node = unsafe { &*p };
+            let r = node.rc.load(Ordering::SeqCst);
+            if r < 1 {
+                // In the freelist right now: the pointer we read must be
+                // stale; start over.
+                continue;
+            }
+            if node
+                .rc
+                .compare_exchange(r, r + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                if cell.load(Ordering::SeqCst) as *mut VNode == p {
+                    return Some(p);
+                }
+                // The cell moved on; our increment counted for whatever
+                // incarnation owns the address — give it back.
+                self.release_no_cascade(p);
+            }
+        }
+    }
+
+    /// Drops one reference; recycles the node at zero. Never cascades —
+    /// the stack's pop transfers the `next` reference explicitly.
+    fn release_no_cascade(&self, p: *mut VNode) {
+        // Safety: type-stable.
+        let node = unsafe { &*p };
+        if node.rc.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.pool.recycle(p);
+        }
+    }
+}
+
+impl lfrc_structures::ConcurrentStack for ValoisStack {
+    fn push(&self, value: u64) {
+        let node = self.pool.alloc(value); // rc = 1: the head cell's ref
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            // The new node inherits the head cell's reference to the old
+            // head — no count changes needed.
+            // Safety: we own `node` until the CAS publishes it.
+            unsafe { (*node).next.store(head, Ordering::Release) };
+            if self
+                .head
+                .compare_exchange(head, node as u64, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<u64> {
+        loop {
+            let p = self.load_counted(&self.head)?; // rc(p) ≥ 2 now
+            // Safety: counted reference keeps `p` out of the freelist, so
+            // `next` is this incarnation's link.
+            let node = unsafe { &*p };
+            let next = node.next.load(Ordering::Acquire);
+            if self
+                .head
+                .compare_exchange(p as u64, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let value = node.value.load(Ordering::Acquire);
+                // The head cell's reference to `next` is inherited from
+                // `p.next`; `p` gives up both the cell's ref and ours.
+                self.release_no_cascade(p);
+                self.release_no_cascade(p);
+                return Some(value);
+            }
+            self.release_no_cascade(p);
+        }
+    }
+
+    fn impl_name(&self) -> String {
+        "stack-valois-freelist/native".to_owned()
+    }
+}
+
+impl Drop for ValoisStack {
+    fn drop(&mut self) {
+        // Pool drop frees everything; nothing to do per node.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrc_structures::ConcurrentStack;
+    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_lifo() {
+        let s = ValoisStack::new();
+        assert_eq!(s.pop(), None);
+        for v in 1..=10 {
+            s.push(v);
+        }
+        for v in (1..=10).rev() {
+            assert_eq!(s.pop(), Some(v));
+        }
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn pool_never_shrinks_but_reuses() {
+        let s = ValoisStack::new();
+        for burst in 0..5 {
+            for v in 0..100 {
+                s.push(v);
+            }
+            while s.pop().is_some() {}
+            // The pool minted 100 nodes in the first burst and reuses
+            // them forever after — never returning them.
+            assert_eq!(s.pool_nodes(), 100, "burst {burst}");
+        }
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: usize = 4;
+        const PER: u64 = 3_000;
+        let s = ValoisStack::new();
+        let sum = Counter::new(0);
+        let count = Counter::new(0);
+        let barrier = Barrier::new(THREADS * 2);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (s, barrier) = (&s, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER {
+                        s.push(t as u64 * PER + i + 1);
+                    }
+                });
+            }
+            for _ in 0..THREADS {
+                let (s, barrier, sum, count) = (&s, &barrier, &sum, &count);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut got = 0;
+                    let mut idle = 0u32;
+                    while got < PER && idle < 1_000_000 {
+                        match s.pop() {
+                            Some(v) => {
+                                sum.fetch_add(v, Ordering::Relaxed);
+                                count.fetch_add(1, Ordering::Relaxed);
+                                got += 1;
+                                idle = 0;
+                            }
+                            None => {
+                                idle += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        while let Some(v) = s.pop() {
+            sum.fetch_add(v, Ordering::Relaxed);
+            count.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = THREADS as u64 * PER;
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        // High contention with only transient nodes: the pool should stay
+        // far below the total number of pushes.
+        assert!(s.pool_nodes() <= n, "pool minted more nodes than pushes");
+    }
+
+    #[test]
+    fn freelist_tag_survives_heavy_recycling() {
+        // Rapid push/pop of a single element maximizes freelist churn and
+        // would expose pop ABA without the generation tag.
+        let s = ValoisStack::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    for v in 0..5_000u64 {
+                        s.push(v % 1000);
+                        s.pop();
+                    }
+                });
+            }
+        });
+        while s.pop().is_some() {}
+        assert!(s.pool_nodes() <= 16, "churn should reuse a handful of nodes");
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion companion to experiment E8: the cost structure of eager vs.
+//! incremental destruction (the length sweep with pause-time breakdown
+//! lives in the `exp8_destroy` binary).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use lfrc_core::{Backlog, DcasWord, Heap, Links, Local, McasWord, PtrField};
+
+struct ChainNode<W: DcasWord> {
+    #[allow(dead_code)]
+    id: u64,
+    next: PtrField<ChainNode<W>, W>,
+}
+
+impl<W: DcasWord> Links<W> for ChainNode<W> {
+    fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<Self, W>)) {
+        f(&self.next);
+    }
+}
+
+fn build_chain(
+    heap: &Heap<ChainNode<McasWord>, McasWord>,
+    len: u64,
+) -> Local<ChainNode<McasWord>, McasWord> {
+    let mut head = heap.alloc(ChainNode {
+        id: 0,
+        next: PtrField::null(),
+    });
+    for id in 1..len {
+        let n = heap.alloc(ChainNode {
+            id,
+            next: PtrField::null(),
+        });
+        n.next.store_consume(head);
+        head = n;
+    }
+    head
+}
+
+fn benches(c: &mut Criterion) {
+    const LEN: u64 = 10_000;
+    let heap: Heap<ChainNode<McasWord>, McasWord> = Heap::new();
+
+    let mut g = c.benchmark_group("e8");
+    g.sample_size(10);
+    g.bench_function("eager_drop_10k_chain", |b| {
+        b.iter_batched(
+            || build_chain(&heap, LEN),
+            drop,
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("incremental_initial_pause_10k_chain", |b| {
+        let backlog: Backlog<ChainNode<McasWord>, McasWord> = Backlog::new();
+        b.iter_batched(
+            || build_chain(&heap, LEN),
+            |head| {
+                backlog.destroy_deferred(head); // measured: the O(1) pause
+                backlog.drain(); // not measured separately by criterion,
+                                 // but kept here so memory stays bounded
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(e8, benches);
+criterion_main!(e8);

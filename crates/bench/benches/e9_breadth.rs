@@ -1,0 +1,34 @@
+//! Criterion companion to experiment E9: single-threaded stack and queue
+//! round-trip costs across implementations (multi-threaded sweeps live in
+//! the `exp9_breadth` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lfrc_bench::{queue_suite, stack_suite};
+
+fn benches(c: &mut Criterion) {
+    for s in stack_suite() {
+        let mut g = c.benchmark_group(format!("e9/{}", s.impl_name()));
+        g.bench_function("push_pop", |b| {
+            b.iter(|| {
+                s.push(1);
+                black_box(s.pop())
+            })
+        });
+        g.finish();
+    }
+    for q in queue_suite() {
+        let mut g = c.benchmark_group(format!("e9/{}", q.impl_name()));
+        g.bench_function("enqueue_dequeue", |b| {
+            b.iter(|| {
+                q.enqueue(1);
+                black_box(q.dequeue())
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(e9, benches);
+criterion_main!(e9);

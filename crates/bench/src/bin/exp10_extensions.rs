@@ -1,0 +1,171 @@
+//! **E10 (extension) — beyond the paper's examples.** Two structures the
+//! paper did not build but whose design space it opens:
+//!
+//! * the **ordered set** (`LfrcOrderedSet`) — a lazy-list set whose
+//!   deleted-mark lives in its own word and whose every structural
+//!   update is a pointer×word DCAS, replacing Harris's pointer tagging
+//!   (which LFRC compliance forbids);
+//! * the **LL/SC stack** (`LlscStack`) — the §2.1 operation extension
+//!   (counted load-linked/store-conditional) driving a Treiber stack.
+//!
+//! `cargo run --release -p lfrc-bench --bin exp10_extensions`
+
+use std::collections::BTreeSet;
+
+use lfrc_bench::{ns_per_op, SEED, SWEEP_THREADS};
+use lfrc_core::{LockWord, McasWord};
+use lfrc_harness::{run_ops, SplitMix64, Table};
+use lfrc_structures::{ConcurrentStack, LfrcOrderedSet, LfrcSkipList, LfrcStack, LlscStack};
+
+const OPS_PER_THREAD: u64 = 10_000;
+const KEY_SPACE: u64 = 512;
+
+fn set_sweep<W: lfrc_core::DcasWord>(t: &mut Table) {
+    let mut cells = vec![format!("set-lfrc-lazy-dcas/{}", W::strategy_name())];
+    for &threads in &SWEEP_THREADS {
+        let set: LfrcOrderedSet<W> = LfrcOrderedSet::new();
+        for k in (0..KEY_SPACE).step_by(2) {
+            set.insert(k);
+        }
+        let plans: Vec<Vec<(u8, u64)>> = (0..threads)
+            .map(|tid| {
+                let mut rng = SplitMix64::for_thread(SEED, tid);
+                (0..OPS_PER_THREAD)
+                    .map(|_| ((rng.below(10) as u8), rng.below(KEY_SPACE)))
+                    .collect()
+            })
+            .collect();
+        let stats = run_ops(threads, OPS_PER_THREAD, |tid, i| {
+            let (kind, key) = plans[tid][i as usize];
+            match kind {
+                0..=1 => {
+                    set.insert(key);
+                }
+                2..=3 => {
+                    set.remove(key);
+                }
+                _ => {
+                    std::hint::black_box(set.contains(key));
+                }
+            }
+        });
+        cells.push(format!("{:.0}", stats.ops_per_sec()));
+    }
+    t.row(cells);
+}
+
+fn skiplist_sweep(t: &mut Table) {
+    let mut cells = vec!["skiplist-lfrc-dcas/mcas".to_owned()];
+    for &threads in &SWEEP_THREADS {
+        let set: LfrcSkipList<McasWord> = LfrcSkipList::new();
+        for k in (0..KEY_SPACE).step_by(2) {
+            set.insert(k);
+        }
+        let plans: Vec<Vec<(u8, u64)>> = (0..threads)
+            .map(|tid| {
+                let mut rng = SplitMix64::for_thread(SEED, tid);
+                (0..OPS_PER_THREAD)
+                    .map(|_| ((rng.below(10) as u8), rng.below(KEY_SPACE)))
+                    .collect()
+            })
+            .collect();
+        let stats = run_ops(threads, OPS_PER_THREAD, |tid, i| {
+            let (kind, key) = plans[tid][i as usize];
+            match kind {
+                0..=1 => {
+                    set.insert(key);
+                }
+                2..=3 => {
+                    set.remove(key);
+                }
+                _ => {
+                    std::hint::black_box(set.contains(key));
+                }
+            }
+        });
+        cells.push(format!("{:.0}", stats.ops_per_sec()));
+    }
+    t.row(cells);
+}
+
+fn main() {
+    println!("# E10 — extension structures\n");
+
+    println!("## E10a — ordered set, 20% insert / 20% remove / 60% contains (ops/s)\n");
+    let mut t = Table::new({
+        let mut h = vec!["impl".to_owned()];
+        h.extend(SWEEP_THREADS.iter().map(|n| format!("{n} thr")));
+        h
+    });
+    set_sweep::<McasWord>(&mut t);
+    set_sweep::<LockWord>(&mut t);
+    skiplist_sweep(&mut t);
+    // Mutex BTreeSet anchor.
+    {
+        let mut cells = vec!["set-locked-btree/mutex".to_owned()];
+        for &threads in &SWEEP_THREADS {
+            let set = parking_lot_free_btree();
+            let plans: Vec<Vec<(u8, u64)>> = (0..threads)
+                .map(|tid| {
+                    let mut rng = SplitMix64::for_thread(SEED, tid);
+                    (0..OPS_PER_THREAD)
+                        .map(|_| ((rng.below(10) as u8), rng.below(KEY_SPACE)))
+                        .collect()
+                })
+                .collect();
+            let stats = run_ops(threads, OPS_PER_THREAD, |tid, i| {
+                let (kind, key) = plans[tid][i as usize];
+                let mut g = set.lock().unwrap();
+                match kind {
+                    0..=1 => {
+                        g.insert(key);
+                    }
+                    2..=3 => {
+                        g.remove(&key);
+                    }
+                    _ => {
+                        std::hint::black_box(g.contains(&key));
+                    }
+                }
+            });
+            cells.push(format!("{:.0}", stats.ops_per_sec()));
+        }
+        t.row(cells);
+    }
+    print!("{t}");
+
+    println!("\n## E10b — LL/SC stack vs CAS stack, sequential push+pop (ns/pair)\n");
+    let mut t = Table::new(["impl", "ns/pair"]);
+    {
+        let s: LfrcStack<McasWord> = LfrcStack::new();
+        t.row([
+            s.impl_name(),
+            format!("{:.0}", ns_per_op(50_000, || {
+                s.push(1);
+                std::hint::black_box(s.pop());
+            })),
+        ]);
+    }
+    {
+        let s: LlscStack<McasWord> = LlscStack::new();
+        t.row([
+            s.impl_name(),
+            format!("{:.0}", ns_per_op(50_000, || {
+                s.push(1);
+                std::hint::black_box(s.pop());
+            })),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "\nexpected shape: the set scales with read share and the DCAS\n\
+         strategies order as in E7; the LL/SC stack pays one extra DCAS\n\
+         per successful update (the SC) compared to the CAS stack's\n\
+         single-word commit."
+    );
+    lfrc_dcas::quiesce();
+}
+
+fn parking_lot_free_btree() -> std::sync::Mutex<BTreeSet<u64>> {
+    std::sync::Mutex::new(BTreeSet::new())
+}

@@ -1,0 +1,150 @@
+//! **E1 — operation overhead.** Paper §1/§5: the LFRC operations are
+//! simple wrappers, but each pointer operation now carries count
+//! maintenance (and `LFRCLoad` carries a DCAS). This table quantifies the
+//! per-operation cost ladder: native atomic → emulated DCAS cell →
+//! full LFRC operation, for both DCAS strategies.
+//!
+//! Regenerates the "E1" table of EXPERIMENTS.md:
+//! `cargo run --release -p lfrc-bench --bin exp1_ops`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lfrc_bench::ns_per_op;
+use lfrc_core::{DcasWord, Heap, Links, LockWord, McasWord, PtrField, SharedField};
+use lfrc_harness::Table;
+
+struct Leaf {
+    #[allow(dead_code)]
+    payload: u64,
+}
+
+impl<W: DcasWord> Links<W> for Leaf {
+    fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, W>)) {}
+}
+
+const ITERS: u64 = 200_000;
+
+fn bench_cell<W: DcasWord>(table: &mut Table) {
+    let name = W::strategy_name();
+    let cell = W::new(1);
+    table.row([
+        format!("cell load ({name})"),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            std::hint::black_box(cell.load());
+        })),
+    ]);
+    table.row([
+        format!("cell store ({name})"),
+        format!("{:.1}", ns_per_op(ITERS, || cell.store(2))),
+    ]);
+    table.row([
+        format!("cell cas ({name})"),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            std::hint::black_box(cell.compare_and_swap(2, 2));
+        })),
+    ]);
+    let a = W::new(1);
+    let b = W::new(2);
+    table.row([
+        format!("cell dcas ({name})"),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            std::hint::black_box(W::dcas(&a, &b, 1, 2, 1, 2));
+        })),
+    ]);
+}
+
+fn bench_lfrc<W: DcasWord>(table: &mut Table) {
+    let name = W::strategy_name();
+    let heap: Heap<Leaf, W> = Heap::new();
+    let root: SharedField<Leaf, W> = SharedField::null();
+    let node = heap.alloc(Leaf { payload: 7 });
+    root.store(Some(&node));
+
+    table.row([
+        format!("LFRCLoad ({name})"),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            std::hint::black_box(root.load());
+        })),
+    ]);
+    table.row([
+        format!("LFRCStore ({name})"),
+        format!("{:.1}", ns_per_op(ITERS, || root.store(Some(&node)))),
+    ]);
+    table.row([
+        format!("LFRCCopy+Destroy ({name})"),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            std::hint::black_box(node.clone());
+        })),
+    ]);
+    table.row([
+        format!("LFRCCAS ({name})"),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            std::hint::black_box(root.compare_and_set(Some(&node), Some(&node)));
+        })),
+    ]);
+    let other_root: SharedField<Leaf, W> = SharedField::null();
+    other_root.store(Some(&node));
+    table.row([
+        format!("LFRCDCAS ({name})"),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            std::hint::black_box(PtrField::dcas(
+                &root,
+                &other_root,
+                Some(&node),
+                Some(&node),
+                Some(&node),
+                Some(&node),
+            ));
+        })),
+    ]);
+    table.row([
+        format!("alloc+free cycle ({name})"),
+        format!("{:.1}", ns_per_op(ITERS / 10, || {
+            std::hint::black_box(heap.alloc(Leaf { payload: 1 }));
+        })),
+    ]);
+    root.store(None);
+    other_root.store(None);
+}
+
+fn main() {
+    println!("# E1 — LFRC operation overhead (single thread, ns/op)\n");
+    let mut table = Table::new(["operation", "ns/op"]);
+
+    // Anchors: native hardware operations.
+    let native = AtomicU64::new(1);
+    table.row([
+        "native atomic load".to_owned(),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            std::hint::black_box(native.load(Ordering::SeqCst));
+        })),
+    ]);
+    table.row([
+        "native atomic cas".to_owned(),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            let _ = std::hint::black_box(native.compare_exchange(
+                1,
+                1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ));
+        })),
+    ]);
+    let arc = Arc::new(7u64);
+    table.row([
+        "Arc clone+drop (libstd anchor)".to_owned(),
+        format!("{:.1}", ns_per_op(ITERS, || {
+            std::hint::black_box(Arc::clone(&arc));
+        })),
+    ]);
+
+    bench_cell::<McasWord>(&mut table);
+    bench_cell::<LockWord>(&mut table);
+    bench_lfrc::<McasWord>(&mut table);
+    bench_lfrc::<LockWord>(&mut table);
+
+    print!("{table}");
+    lfrc_dcas::quiesce();
+    println!("\nemulator: {}", lfrc_dcas::emulation_stats());
+}

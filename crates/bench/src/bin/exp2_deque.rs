@@ -1,0 +1,85 @@
+//! **E2 — Snark deque throughput.** Paper §1/§4: the LFRC-transformed
+//! deque is a practical, GC-independent, lock-free deque. This sweep
+//! compares it against the GC-dependent original (leak arena), the
+//! lock-striped-DCAS ablation, and a mutex baseline, across thread counts
+//! and operation mixes.
+//!
+//! `cargo run --release -p lfrc-bench --bin exp2_deque`
+
+use lfrc_bench::{deque_suite, deque_suite_sequential, ns_per_op, SEED, SWEEP_THREADS};
+use lfrc_deque::ConcurrentDeque;
+use lfrc_harness::{run_ops, DequeOp, DequeWorkload, Mix, Table};
+
+const OPS_PER_THREAD: u64 = 20_000;
+
+fn drive(d: &dyn ConcurrentDeque, op: DequeOp) {
+    match op {
+        DequeOp::PushLeft(v) => d.push_left(v),
+        DequeOp::PushRight(v) => d.push_right(v),
+        DequeOp::PopLeft => {
+            std::hint::black_box(d.pop_left());
+        }
+        DequeOp::PopRight => {
+            std::hint::black_box(d.pop_right());
+        }
+    }
+}
+
+/// Pregenerates each thread's operation sequence so that workload
+/// generation never runs inside the measured loop.
+fn pregen(threads: usize, mix: Mix) -> Vec<Vec<DequeOp>> {
+    (0..threads)
+        .map(|t| {
+            let mut w = DequeWorkload::new(SEED, t, mix);
+            (0..OPS_PER_THREAD).map(|_| w.next_op()).collect()
+        })
+        .collect()
+}
+
+fn main() {
+    println!("# E2 — Snark deque throughput\n");
+
+    // Part 1: single-threaded op cost, including the paper's literal
+    // (published) code.
+    println!("## E2a — sequential push+pop round-trip (ns/pair)\n");
+    let mut t = Table::new(["impl", "ns/pair"]);
+    for d in deque_suite_sequential() {
+        let cost = ns_per_op(50_000, || {
+            d.push_right(1);
+            std::hint::black_box(d.pop_left());
+        });
+        t.row([d.impl_name(), format!("{cost:.0}")]);
+    }
+    print!("{t}");
+
+    // Part 2: multi-threaded sweep over mixes.
+    for mix in Mix::ALL {
+        println!("\n## E2b — throughput, mix = {mix} (ops/s, higher is better)\n");
+        let mut t = Table::new({
+            let mut h = vec!["impl".to_owned()];
+            h.extend(SWEEP_THREADS.iter().map(|n| format!("{n} thr")));
+            h
+        });
+        // Row per impl; fresh instance per cell.
+        let names: Vec<String> = deque_suite().iter().map(|d| d.impl_name()).collect();
+        for (i, name) in names.iter().enumerate() {
+            let mut cells = vec![name.clone()];
+            for &threads in &SWEEP_THREADS {
+                let d = deque_suite().swap_remove(i);
+                // Pre-seed so pops have work from the start.
+                for v in 0..512 {
+                    d.push_right(v);
+                }
+                let ops = pregen(threads, mix);
+                let stats = run_ops(threads, OPS_PER_THREAD, |t, i| {
+                    drive(&*d, ops[t][i as usize]);
+                });
+                cells.push(format!("{:.0}", stats.ops_per_sec()));
+            }
+            t.row(cells);
+        }
+        print!("{t}");
+    }
+    lfrc_dcas::quiesce();
+    println!("\nemulator: {}", lfrc_dcas::emulation_stats());
+}

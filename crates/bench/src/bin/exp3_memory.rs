@@ -1,0 +1,125 @@
+//! **E3 — memory growth and shrink.** Paper §1: LFRC "allows the memory
+//! consumption of the implementation to grow and shrink over time,
+//! without imposing any restrictions on the underlying memory allocation
+//! mechanisms", in contrast to Valois-style freelists ("preventing the
+//! space consumption of a list from shrinking over time") and to leaking
+//! GC environments.
+//!
+//! Protocol: three burst/drain cycles of `BURST` nodes each; the logical
+//! footprint of each scheme is sampled after every phase.
+//!
+//! `cargo run --release -p lfrc-bench --bin exp3_memory`
+
+use lfrc_baselines::ValoisStack;
+use lfrc_core::McasWord;
+use lfrc_deque::{ConcurrentDeque, GcSnark};
+use lfrc_harness::{rss_bytes, MemSeries, Table};
+use lfrc_structures::{ConcurrentStack, GcStack, LfrcStack};
+
+const BURST: u64 = 50_000;
+const CYCLES: usize = 3;
+
+fn phases(mut grow: impl FnMut(u64), mut drain: impl FnMut(), mut sample: impl FnMut() -> u64) -> MemSeries {
+    let mut series = MemSeries::new();
+    series.sample("start", sample());
+    for c in 0..CYCLES {
+        grow(BURST);
+        series.sample(format!("burst{c}"), sample());
+        drain();
+        series.sample(format!("drain{c}"), sample());
+    }
+    series
+}
+
+fn main() {
+    println!("# E3 — memory footprint across burst/drain cycles (nodes held)\n");
+    let mut table = Table::new([
+        "impl", "start", "burst0", "drain0", "burst1", "drain1", "burst2", "drain2", "peak",
+        "end", "shrinks?",
+    ]);
+    let mut push_row = |name: String, s: &MemSeries| {
+        let mut cells = vec![name];
+        cells.extend(s.samples().iter().map(|(_, v)| v.to_string()));
+        cells.push(s.peak().to_string());
+        cells.push(s.last().to_string());
+        cells.push(if s.ever_shrinks() { "yes" } else { "NO" }.to_owned());
+        table.row(cells);
+    };
+
+    // LFRC stack: census live count — must shrink to 0 after every drain.
+    {
+        let s: LfrcStack<McasWord> = LfrcStack::new();
+        let series = phases(
+            |n| (0..n).for_each(|v| s.push(v)),
+            || while s.pop().is_some() {},
+            || s.heap().census().live(),
+        );
+        push_row(s.impl_name(), &series);
+    }
+
+    // Valois stack: pool size — monotone (the paper's critique).
+    {
+        let s = ValoisStack::new();
+        let series = phases(
+            |n| (0..n).for_each(|v| s.push(v)),
+            || while s.pop().is_some() {},
+            || s.pool_nodes(),
+        );
+        push_row(s.impl_name(), &series);
+    }
+
+    // GC-dependent Snark on the leak arena: monotone by construction.
+    {
+        let d: GcSnark<McasWord> = GcSnark::new();
+        let series = phases(
+            |n| (0..n).for_each(|v| d.push_right(v)),
+            || while d.pop_left().is_some() {},
+            || d.arena_live(),
+        );
+        push_row(d.impl_name(), &series);
+    }
+
+    // GC stack on EBR: shrinks, but only after a grace period (pending
+    // garbage is the sample).
+    {
+        let s = GcStack::new();
+        let series = phases(
+            |n| (0..n).for_each(|v| s.push(v)),
+            || while s.pop().is_some() {},
+            // No explicit flush: what remains pending is the grace-period
+            // lag inherent to the "assume GC" environment.
+            || s.collector().stats().pending(),
+        );
+        push_row(format!("{} (pending)", s.impl_name()), &series);
+        lfrc_structures::flush_thread(s.collector());
+    }
+
+    print!("{table}");
+
+    // RSS cross-check for the LFRC scheme: allocate a big burst, drain,
+    // and show the resident set actually relaxing (allocator willing).
+    println!("\n## RSS cross-check (LFRC stack, bytes)\n");
+    let mut rss = Table::new(["phase", "census nodes", "census bytes", "process RSS"]);
+    let s: LfrcStack<McasWord> = LfrcStack::new();
+    let mut snap = |label: &str, s: &LfrcStack<McasWord>| {
+        rss.row([
+            label.to_owned(),
+            s.heap().census().live().to_string(),
+            s.heap().census().live_bytes().to_string(),
+            rss_bytes().to_string(),
+        ]);
+    };
+    snap("start", &s);
+    for v in 0..4 * BURST {
+        s.push(v);
+    }
+    snap("after burst (4x)", &s);
+    while s.pop().is_some() {}
+    lfrc_dcas::quiesce();
+    snap("after drain+quiesce", &s);
+    print!("{rss}");
+    println!(
+        "\nnote: census bytes must hit zero after drain; RSS depends on the\n\
+         allocator returning pages and is reported for context only."
+    );
+}

@@ -1,0 +1,134 @@
+//! **E5 — why the load needs DCAS.** Paper §1: "If we can access this
+//! reference count only with a single-variable compare-and-swap (CAS),
+//! then there is a risk that the object will be freed before we increment
+//! the reference count, and that the subsequent attempt to increment the
+//! reference count will corrupt memory that has been freed."
+//!
+//! Protocol: a mutator thread continually swings a shared pointer between
+//! fresh nodes (freeing the old ones); reader threads hammer counted
+//! loads of that pointer. Two reader protocols are compared under
+//! quarantine (so the corruption is *counted*, not fatal):
+//!
+//! * the paper's `LFRCLoad` (DCAS increments the count only while the
+//!   pointer still exists) — must record **zero** touches of freed memory;
+//! * the naive CAS-only load (increment, then re-validate) — records
+//!   every increment that landed on an already-freed node.
+//!
+//! The reader also re-runs the naive protocol with a deliberate
+//! scheduling gap (a `yield` between pointer read and count increment) to
+//! show the corruption rate scaling with preemption pressure — on a
+//! single-core host the natural window alone may be hit rarely.
+//!
+//! `cargo run --release -p lfrc-bench --bin exp5_aba`
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+use lfrc_core::{DcasWord, Heap, Links, McasWord, PtrField, SharedField};
+
+use lfrc_harness::Table;
+
+struct Leaf {
+    #[allow(dead_code)]
+    id: u64,
+}
+
+impl<W: DcasWord> Links<W> for Leaf {
+    fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, W>)) {}
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Protocol {
+    LfrcDcas,
+    NaiveCas { widen_window: bool },
+}
+
+fn run(protocol: Protocol, swings: u64, readers: usize) -> (u64, u64) {
+    let heap: Heap<Leaf, McasWord> = Heap::new();
+    heap.census().set_quarantine(true);
+    let root: SharedField<Leaf, McasWord> = SharedField::null();
+    let first = heap.alloc(Leaf { id: 0 });
+    root.store(Some(&first));
+    drop(first);
+
+    let done = AtomicBool::new(false);
+    let barrier = Barrier::new(readers + 1);
+    std::thread::scope(|s| {
+        // Mutator: swing the pointer, freeing the previous node each time.
+        {
+            let (root, heap, done, barrier) = (&root, &heap, &done, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                for i in 1..=swings {
+                    let fresh = heap.alloc(Leaf { id: i });
+                    root.store(Some(&fresh)); // frees the old node
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..readers {
+            let (root, done, barrier) = (&root, &done, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                while !done.load(Ordering::SeqCst) {
+                    match protocol {
+                        Protocol::LfrcDcas => {
+                            std::hint::black_box(root.load());
+                        }
+                        Protocol::NaiveCas { widen_window } => {
+                            let mut dest: *mut _ = ptr::null_mut();
+                            // Safety (experimental): quarantine is on, so
+                            // the unsound touch is counted, not fatal.
+                            unsafe {
+                                if widen_window {
+                                    // Model a preemption inside the defect
+                                    // window (pointer read -> increment).
+                                    lfrc_core::ops::load_naive_cas_gapped(
+                                        &**root,
+                                        &mut dest,
+                                        &std::thread::yield_now,
+                                    );
+                                } else {
+                                    lfrc_core::ops::load_naive_cas(&**root, &mut dest);
+                                }
+                                lfrc_core::ops::destroy_tolerant(dest);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    root.store(None);
+    let census = heap.census();
+    let corruptions = census.rc_on_freed();
+    let quarantined = census.quarantined() as u64;
+    // Safety: all threads joined; nothing references quarantined memory.
+    unsafe { census.drain_quarantine() };
+    census.set_quarantine(false);
+    (corruptions, quarantined)
+}
+
+fn main() {
+    println!("# E5 — reference-count updates landing on freed memory\n");
+    const SWINGS: u64 = 60_000;
+    const READERS: usize = 2;
+    println!("{SWINGS} pointer swings, {READERS} readers, quarantine on.\n");
+    let mut t = Table::new(["load protocol", "rc-on-freed events", "nodes freed"]);
+    let (c, q) = run(Protocol::LfrcDcas, SWINGS, READERS);
+    t.row(["LFRCLoad (DCAS)".to_owned(), c.to_string(), q.to_string()]);
+    let (c, q) = run(Protocol::NaiveCas { widen_window: false }, SWINGS, READERS);
+    t.row(["naive CAS (natural window)".to_owned(), c.to_string(), q.to_string()]);
+    let (c, q) = run(Protocol::NaiveCas { widen_window: true }, SWINGS, READERS);
+    t.row(["naive CAS (widened window)".to_owned(), c.to_string(), q.to_string()]);
+    print!("{t}");
+    println!(
+        "\nexpected shape: LFRCLoad records exactly 0 events in every run;\n\
+         the CAS-only protocol records a positive count that grows with\n\
+         preemption pressure. Each event would be a use-after-free write\n\
+         in a real system."
+    );
+    lfrc_dcas::quiesce();
+}

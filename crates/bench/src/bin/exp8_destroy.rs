@@ -1,0 +1,102 @@
+//! **E8 — incremental destruction (the paper's §7 future work).** "One
+//! obvious example is to apply techniques that allow large structures to
+//! be collected incrementally. This would avoid long delays when a thread
+//! destroys the last pointer to a large structure."
+//!
+//! Protocol: build a k-node chain, drop the last pointer to it, and
+//! measure (a) the **pause** the dropping thread observes and (b) the
+//! total time until all k nodes are reclaimed — for the eager Figure 2
+//! destroy versus the `Backlog` incremental reclaimer with a 1024-node
+//! step budget.
+//!
+//! `cargo run --release -p lfrc-bench --bin exp8_destroy`
+
+use std::time::Instant;
+
+use lfrc_core::{Backlog, DcasWord, Heap, Links, Local, McasWord, PtrField};
+use lfrc_harness::Table;
+
+struct ChainNode<W: DcasWord> {
+    #[allow(dead_code)]
+    id: u64,
+    next: PtrField<ChainNode<W>, W>,
+}
+
+impl<W: DcasWord> Links<W> for ChainNode<W> {
+    fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<Self, W>)) {
+        f(&self.next);
+    }
+}
+
+fn build_chain<W: DcasWord>(heap: &Heap<ChainNode<W>, W>, len: u64) -> Local<ChainNode<W>, W> {
+    let mut head = heap.alloc(ChainNode {
+        id: 0,
+        next: PtrField::null(),
+    });
+    for id in 1..len {
+        let n = heap.alloc(ChainNode {
+            id,
+            next: PtrField::null(),
+        });
+        n.next.store_consume(head);
+        head = n;
+    }
+    head
+}
+
+fn micros(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    println!("# E8 — pause time when dropping the last pointer to a chain\n");
+    let mut t = Table::new([
+        "chain length",
+        "eager pause (us)",
+        "incr pause (us)",
+        "incr total (us)",
+        "incr steps",
+    ]);
+    for len in [1_000u64, 10_000, 100_000, 1_000_000] {
+        // Eager (Figure 2 destroy, iterative): the drop IS the full
+        // reclamation.
+        let heap: Heap<ChainNode<McasWord>, McasWord> = Heap::new();
+        let head = build_chain(&heap, len);
+        let start = Instant::now();
+        drop(head);
+        let eager_pause = start.elapsed();
+        assert_eq!(heap.census().live(), 0);
+
+        // Incremental (§7): the drop is O(1); reclamation happens in
+        // bounded steps afterwards (here on the same thread; any thread —
+        // or a background one — could run them).
+        let heap2: Heap<ChainNode<McasWord>, McasWord> = Heap::new();
+        let head = build_chain(&heap2, len);
+        let backlog: Backlog<ChainNode<McasWord>, McasWord> = Backlog::new();
+        let start = Instant::now();
+        backlog.destroy_deferred(head);
+        let incr_pause = start.elapsed();
+        let mut steps = 0u64;
+        let total_start = Instant::now();
+        while backlog.step(1024) > 0 {
+            steps += 1;
+        }
+        let incr_total = incr_pause + total_start.elapsed();
+        assert_eq!(heap2.census().live(), 0);
+
+        t.row([
+            len.to_string(),
+            format!("{:.1}", micros(eager_pause)),
+            format!("{:.1}", micros(incr_pause)),
+            format!("{:.1}", micros(incr_total)),
+            steps.to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "\nexpected shape: the eager pause grows linearly with chain length;\n\
+         the incremental pause stays O(1) (one decrement + one push) while\n\
+         its total remains within a small factor of eager."
+    );
+    lfrc_dcas::quiesce();
+}

@@ -1,0 +1,88 @@
+//! **E9 — methodology breadth.** Paper §2.1: the LFRC operation set
+//! "seems to be sufficient to support a wide range of concurrent data
+//! structure implementations". Beyond the Snark deque, this reproduction
+//! transformed the Treiber stack and the Michael–Scott queue (the
+//! paper's \[13\]); this sweep compares each against its GC-dependent
+//! original (on EBR, with native atomics), the Valois freelist scheme,
+//! and a mutex baseline.
+//!
+//! `cargo run --release -p lfrc-bench --bin exp9_breadth`
+
+use lfrc_bench::{queue_suite, stack_suite, SEED, SWEEP_THREADS};
+use lfrc_harness::{run_ops, SplitMix64, Table};
+
+const OPS_PER_THREAD: u64 = 20_000;
+
+fn main() {
+    println!("# E9 — stack and queue throughput (ops/s)\n");
+
+    println!("## E9a — Treiber stacks, 50/50 push/pop\n");
+    let mut t = Table::new({
+        let mut h = vec!["impl".to_owned()];
+        h.extend(SWEEP_THREADS.iter().map(|n| format!("{n} thr")));
+        h
+    });
+    let names: Vec<String> = stack_suite().iter().map(|s| s.impl_name()).collect();
+    for (i, name) in names.iter().enumerate() {
+        let mut cells = vec![name.clone()];
+        for &threads in &SWEEP_THREADS {
+            let s = stack_suite().swap_remove(i);
+            for v in 0..512 {
+                s.push(v);
+            }
+            // Pregenerate coin flips.
+            let flips: Vec<Vec<bool>> = (0..threads)
+                .map(|t| {
+                    let mut rng = SplitMix64::for_thread(SEED, t);
+                    (0..OPS_PER_THREAD).map(|_| rng.chance(50)).collect()
+                })
+                .collect();
+            let stats = run_ops(threads, OPS_PER_THREAD, |t, i| {
+                if flips[t][i as usize] {
+                    s.push(i);
+                } else {
+                    std::hint::black_box(s.pop());
+                }
+            });
+            cells.push(format!("{:.0}", stats.ops_per_sec()));
+        }
+        t.row(cells);
+    }
+    print!("{t}");
+
+    println!("\n## E9b — Michael–Scott queues, 50/50 enqueue/dequeue\n");
+    let mut t = Table::new({
+        let mut h = vec!["impl".to_owned()];
+        h.extend(SWEEP_THREADS.iter().map(|n| format!("{n} thr")));
+        h
+    });
+    let names: Vec<String> = queue_suite().iter().map(|q| q.impl_name()).collect();
+    for (i, name) in names.iter().enumerate() {
+        let mut cells = vec![name.clone()];
+        for &threads in &SWEEP_THREADS {
+            let q = queue_suite().swap_remove(i);
+            for v in 0..512 {
+                q.enqueue(v);
+            }
+            let flips: Vec<Vec<bool>> = (0..threads)
+                .map(|t| {
+                    let mut rng = SplitMix64::for_thread(SEED, t);
+                    (0..OPS_PER_THREAD).map(|_| rng.chance(50)).collect()
+                })
+                .collect();
+            let stats = run_ops(threads, OPS_PER_THREAD, |t, i| {
+                if flips[t][i as usize] {
+                    q.enqueue(i);
+                } else {
+                    std::hint::black_box(q.dequeue());
+                }
+            });
+            cells.push(format!("{:.0}", stats.ops_per_sec()));
+        }
+        t.row(cells);
+    }
+    print!("{t}");
+
+    lfrc_dcas::quiesce();
+    println!("\nemulator: {}", lfrc_dcas::emulation_stats());
+}

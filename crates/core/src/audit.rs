@@ -1,0 +1,212 @@
+//! Quiescent-state reference-count auditing.
+//!
+//! DESIGN.md invariant **I1** says every object's count is at least the
+//! number of memory words holding a pointer to it. Concurrent runs can
+//! only check I1's *consequences* (no premature free, no leak); at a
+//! quiescent point, though, the invariant is exactly decidable: walk the
+//! object graph from the roots, count in-edges, and compare with each
+//! object's `rc`. At quiescence there are no in-flight speculative
+//! increments, so the counts must match **exactly** — any surplus is a
+//! future leak, any deficit a future use-after-free.
+//!
+//! Tests call [`audit`] after churn (post-drain, all threads joined) to
+//! certify the bookkeeping, not just the absence of symptoms.
+
+use std::collections::HashMap;
+
+use lfrc_dcas::DcasWord;
+
+use crate::local::Local;
+use crate::object::{word_to_ptr, LfrcBox, Links};
+
+/// One discrepancy found by [`audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// The object's address (opaque identifier for reporting).
+    pub object: usize,
+    /// The reference count the object holds.
+    pub rc: u64,
+    /// In-edges found: graph links plus root references.
+    pub expected: u64,
+}
+
+/// Result of a quiescent audit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Objects reachable from the roots.
+    pub reachable: usize,
+    /// Objects whose `rc` differed from their observed in-degree.
+    pub findings: Vec<AuditFinding>,
+}
+
+impl AuditReport {
+    /// `true` if every reachable object's count was exact.
+    pub fn is_exact(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Audits the object graph reachable from `roots` at a quiescent point.
+///
+/// Each entry in `roots` is a counted reference paired with the number of
+/// *additional* counted references the caller knows exist to that same
+/// object beyond the graph and this root itself (usually 0; pass 1 per
+/// extra `Local` or structure field aimed at it that is not part of the
+/// traversed graph).
+///
+/// # Requirements (caller-checked)
+///
+/// * No concurrent mutation: every thread touching these objects has
+///   quiesced (otherwise transient speculative increments are reported
+///   as false findings).
+/// * The graph reachable through [`Links::for_each_link`] is the *whole*
+///   graph: any pointer field not visited by `for_each_link` would make
+///   counts look inflated.
+pub fn audit<T: Links<W>, W: DcasWord>(roots: &[(&Local<T, W>, u64)]) -> AuditReport {
+    // In-degree accumulation over the reachable graph.
+    let mut indegree: HashMap<usize, u64> = HashMap::new();
+    let mut stack: Vec<*mut LfrcBox<T, W>> = Vec::new();
+
+    for (root, extra) in roots {
+        let p = Local::as_raw(root);
+        // The caller's `root` Local + declared extras.
+        *indegree.entry(p as usize).or_insert(0) += 1 + extra;
+        stack.push(p);
+    }
+
+    let mut visited: HashMap<usize, *mut LfrcBox<T, W>> = HashMap::new();
+    while let Some(p) = stack.pop() {
+        if p.is_null() || visited.contains_key(&(p as usize)) {
+            continue;
+        }
+        visited.insert(p as usize, p);
+        // Safety: reachable from a counted root at quiescence.
+        let obj = unsafe { &*p };
+        obj.value().for_each_link(&mut |field| {
+            let child = word_to_ptr::<T, W>(crate::object::field_raw_load(field));
+            if !child.is_null() {
+                *indegree.entry(child as usize).or_insert(0) += 1;
+                stack.push(child);
+            }
+        });
+    }
+
+    let mut findings = Vec::new();
+    for (&addr, &p) in &visited {
+        // Safety: as above.
+        let rc = unsafe { (*p).ref_count() };
+        let expected = indegree.get(&addr).copied().unwrap_or(0);
+        if rc != expected {
+            findings.push(AuditFinding {
+                object: addr,
+                rc,
+                expected,
+            });
+        }
+    }
+    findings.sort_by_key(|f| f.object);
+    AuditReport {
+        reachable: visited.len(),
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Heap, PtrField};
+    use crate::shared::SharedField;
+    use lfrc_dcas::McasWord;
+
+    struct Node {
+        #[allow(dead_code)]
+        id: u64,
+        a: PtrField<Node, McasWord>,
+        b: PtrField<Node, McasWord>,
+    }
+
+    impl Links<McasWord> for Node {
+        fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<Node, McasWord>)) {
+            f(&self.a);
+            f(&self.b);
+        }
+    }
+
+    fn node(heap: &Heap<Node, McasWord>, id: u64) -> Local<Node, McasWord> {
+        heap.alloc(Node {
+            id,
+            a: PtrField::null(),
+            b: PtrField::null(),
+        })
+    }
+
+    #[test]
+    fn exact_counts_on_shared_diamond() {
+        let heap: Heap<Node, McasWord> = Heap::new();
+        // root -> {x, y}; x.a -> z; y.a -> z (diamond onto z).
+        let z = node(&heap, 3);
+        let x = node(&heap, 1);
+        let y = node(&heap, 2);
+        x.a.store(Some(&z));
+        y.a.store(Some(&z));
+        let root = node(&heap, 0);
+        root.a.store(Some(&x));
+        root.b.store(Some(&y));
+        drop((x, y, z));
+
+        let report = audit(&[(&root, 0)]);
+        assert_eq!(report.reachable, 4);
+        assert!(report.is_exact(), "findings: {:?}", report.findings);
+        drop(root);
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn extra_locals_are_declared() {
+        let heap: Heap<Node, McasWord> = Heap::new();
+        let n = node(&heap, 1);
+        let extra = n.clone();
+        // Without declaring the extra local, the audit flags the surplus.
+        let report = audit(&[(&n, 0)]);
+        assert!(!report.is_exact());
+        // Declaring it makes the count exact.
+        let report = audit(&[(&n, 1)]);
+        assert!(report.is_exact());
+        drop((n, extra));
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn audit_detects_manual_overcount() {
+        let heap: Heap<Node, McasWord> = Heap::new();
+        let n = node(&heap, 1);
+        // Simulate a bookkeeping bug: a stray increment.
+        unsafe { crate::ops::add_to_rc(Local::as_raw(&n), 1) };
+        let report = audit(&[(&n, 0)]);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rc, 2);
+        assert_eq!(report.findings[0].expected, 1);
+        // Repair so teardown doesn't leak.
+        unsafe { crate::ops::add_to_rc(Local::as_raw(&n), -1) };
+        drop(n);
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn audit_through_structure_roots() {
+        // A SharedField root counts as one extra reference to its target.
+        let heap: Heap<Node, McasWord> = Heap::new();
+        let head: SharedField<Node, McasWord> = SharedField::null();
+        let a = node(&heap, 1);
+        let b = node(&heap, 2);
+        a.a.store(Some(&b));
+        head.store(Some(&a));
+        drop(b);
+        let report = audit(&[(&a, 1)]); // +1: the SharedField
+        assert!(report.is_exact(), "findings: {:?}", report.findings);
+        assert_eq!(report.reachable, 2);
+        head.store(None);
+        drop(a);
+        assert_eq!(heap.census().live(), 0);
+    }
+}

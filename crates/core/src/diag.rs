@@ -1,0 +1,242 @@
+//! Allocation census, freed-object canaries, and quarantine mode.
+//!
+//! The paper's correctness argument rests on two properties that are
+//! invisible in a happy-path run: objects are never freed prematurely, and
+//! every unreachable object is eventually freed. This module makes both
+//! observable:
+//!
+//! * every [`Heap`](crate::Heap) carries a [`Census`] counting
+//!   allocations and frees — tests assert `live() == 0` after teardown
+//!   (invariant I3 of DESIGN.md), and experiment E6 uses the census to
+//!   *measure* the leak caused by garbage cycles;
+//! * every object carries a **canary** word that is poisoned on free —
+//!   the reference-count mutators check it, so a premature free caused by
+//!   an unsound protocol (the CAS-only load of experiment E5) is counted
+//!   rather than silently corrupting memory;
+//! * **quarantine mode** retains freed objects' memory (poisoned) for the
+//!   duration of an experiment, so that deliberately unsound baselines can
+//!   be run and their corruption *counted* without actual undefined
+//!   behaviour.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Canary value stored in every live object's header.
+pub(crate) const CANARY_ALIVE: u64 = 0xA11C_E0DE_A11C_E0DE;
+/// Canary value stored the instant an object is logically freed.
+pub(crate) const CANARY_FREED: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
+/// A quarantined (logically freed, physically retained) allocation.
+struct Quarantined {
+    data: *mut (),
+    free: unsafe fn(*mut ()),
+}
+
+// Safety: quarantined allocations are only freed by `drain_quarantine`,
+// exactly once, and are otherwise inert.
+unsafe impl Send for Quarantined {}
+
+/// Per-heap allocation accounting and corruption detection.
+///
+/// Shared (via `Arc`) between a [`Heap`](crate::Heap), every object it
+/// allocates, and any test or experiment that wants to observe them.
+pub struct Census {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    live_bytes: AtomicU64,
+    peak_live: AtomicU64,
+    /// Reference-count mutations that touched an already-freed object —
+    /// the corruption the paper's DCAS-based load exists to prevent.
+    rc_on_freed: AtomicU64,
+    quarantine_mode: AtomicBool,
+    quarantine: Mutex<Vec<Quarantined>>,
+}
+
+impl fmt::Debug for Census {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Census")
+            .field("allocs", &self.allocs())
+            .field("frees", &self.frees())
+            .field("live", &self.live())
+            .field("peak_live", &self.peak_live())
+            .field("rc_on_freed", &self.rc_on_freed())
+            .finish()
+    }
+}
+
+impl Default for Census {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Census {
+    /// Creates zeroed counters (quarantine off).
+    pub fn new() -> Self {
+        Census {
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            live_bytes: AtomicU64::new(0),
+            peak_live: AtomicU64::new(0),
+            rc_on_freed: AtomicU64::new(0),
+            quarantine_mode: AtomicBool::new(false),
+            quarantine: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Total objects allocated so far.
+    pub fn allocs(&self) -> u64 {
+        self.allocs.load(Ordering::Acquire)
+    }
+
+    /// Total objects logically freed so far.
+    pub fn frees(&self) -> u64 {
+        self.frees.load(Ordering::Acquire)
+    }
+
+    /// Objects currently live (allocated and not yet logically freed).
+    pub fn live(&self) -> u64 {
+        self.allocs().saturating_sub(self.frees())
+    }
+
+    /// High-water mark of [`Census::live`].
+    pub fn peak_live(&self) -> u64 {
+        self.peak_live.load(Ordering::Acquire)
+    }
+
+    /// Payload bytes currently live.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Acquire)
+    }
+
+    /// Number of reference-count mutations that hit a freed object.
+    ///
+    /// Always zero for LFRC (experiment E5 asserts this); positive for the
+    /// deliberately unsound CAS-only load run under quarantine.
+    pub fn rc_on_freed(&self) -> u64 {
+        self.rc_on_freed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn note_alloc(&self, bytes: usize) {
+        self.allocs.fetch_add(1, Ordering::AcqRel);
+        self.live_bytes.fetch_add(bytes as u64, Ordering::AcqRel);
+        let live = self.live();
+        self.peak_live.fetch_max(live, Ordering::AcqRel);
+    }
+
+    pub(crate) fn note_free(&self, bytes: usize) {
+        self.frees.fetch_add(1, Ordering::AcqRel);
+        self.live_bytes.fetch_sub(bytes as u64, Ordering::AcqRel);
+    }
+
+    pub(crate) fn note_rc_on_freed(&self) {
+        self.rc_on_freed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Switches quarantine mode on or off.
+    ///
+    /// While on, logically freed objects are *retained* (with a poisoned
+    /// canary) instead of being handed to the allocator, so unsound
+    /// protocols can be measured safely. Call
+    /// [`Census::drain_quarantine`] afterwards to release the memory.
+    pub fn set_quarantine(&self, on: bool) {
+        self.quarantine_mode.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether quarantine mode is currently on.
+    pub fn quarantine_on(&self) -> bool {
+        self.quarantine_mode.load(Ordering::SeqCst)
+    }
+
+    /// Number of allocations currently held in quarantine.
+    pub fn quarantined(&self) -> usize {
+        self.quarantine.lock().unwrap().len()
+    }
+
+    pub(crate) unsafe fn quarantine_push<T: Send + 'static>(&self, ptr: *mut T) {
+        unsafe fn free<T>(data: *mut ()) {
+            // Safety: `data` came from `Box::into_raw::<T>`.
+            drop(unsafe { Box::from_raw(data as *mut T) });
+        }
+        self.quarantine.lock().unwrap().push(Quarantined {
+            data: ptr as *mut (),
+            free: free::<T>,
+        });
+    }
+
+    /// Releases all quarantined allocations.
+    ///
+    /// # Safety
+    ///
+    /// No thread may still hold a pointer into quarantined memory (the
+    /// experiment that produced the corruption must have fully quiesced).
+    pub unsafe fn drain_quarantine(&self) -> usize {
+        let drained: Vec<Quarantined> = std::mem::take(&mut *self.quarantine.lock().unwrap());
+        let n = drained.len();
+        for q in drained {
+            // Safety: each entry pushed exactly once; caller guarantees no
+            // outstanding references.
+            unsafe { (q.free)(q.data) };
+        }
+        n
+    }
+}
+
+impl Drop for Census {
+    fn drop(&mut self) {
+        // Release anything still quarantined: by the time the census drops
+        // every Heap and object referencing it is gone.
+        let drained: Vec<Quarantined> = std::mem::take(self.quarantine.get_mut().unwrap());
+        for q in drained {
+            // Safety: sole owner at drop time.
+            unsafe { (q.free)(q.data) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_tracks_alloc_free() {
+        let c = Census::new();
+        c.note_alloc(64);
+        c.note_alloc(64);
+        assert_eq!(c.live(), 2);
+        assert_eq!(c.live_bytes(), 128);
+        c.note_free(64);
+        assert_eq!(c.live(), 1);
+        assert_eq!(c.peak_live(), 2);
+    }
+
+    #[test]
+    fn quarantine_counts_and_drains() {
+        let c = Census::new();
+        c.set_quarantine(true);
+        assert!(c.quarantine_on());
+        let p = Box::into_raw(Box::new(7u64));
+        unsafe { c.quarantine_push(p) };
+        assert_eq!(c.quarantined(), 1);
+        assert_eq!(unsafe { c.drain_quarantine() }, 1);
+        assert_eq!(c.quarantined(), 0);
+    }
+
+    #[test]
+    fn census_drop_releases_quarantine() {
+        static DROPS: AtomicU64 = AtomicU64::new(0);
+        struct Noisy;
+        impl Drop for Noisy {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let c = Census::new();
+            let p = Box::into_raw(Box::new(Noisy));
+            unsafe { c.quarantine_push(p) };
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+}

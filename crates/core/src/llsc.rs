@@ -1,0 +1,287 @@
+//! Counted load-linked / store-conditional on pointer locations — the
+//! extension the paper names in §2.1.
+//!
+//! "Given the general principles demonstrated in this paper, it should be
+//! straightforward to extend our methodology to support other operations
+//! such as load-linked and store-conditional." This module is that
+//! extension, done: a [`LinkedPtrField`] is a shared pointer location
+//! with LL/SC semantics *and* LFRC counting:
+//!
+//! * [`LinkedPtrField::load_linked`] is a counted `LFRCLoad` that also
+//!   opens a link (version snapshot);
+//! * [`LinkedPtrField::store_conditional`] installs a new counted
+//!   pointer only if no write has hit the location since the link — and
+//!   keeps the reference counts exact on both the success and failure
+//!   paths, mirroring `LFRCDCAS`'s speculative-increment/compensate
+//!   pattern.
+//!
+//! The version word lives in a cell DCAS-able with the pointer cell, so
+//! the whole update is one substrate DCAS — precisely the shape the
+//! paper's methodology prescribes for new operations.
+
+use std::fmt;
+
+use lfrc_dcas::DcasWord;
+
+use crate::local::Local;
+use crate::object::{ptr_to_word, Links, PtrField};
+
+/// Link token returned by [`LinkedPtrField::load_linked`].
+///
+/// Carries only the version; the loaded pointer travels separately as a
+/// counted [`Local`], so dropping the token leaks nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct PtrLink {
+    version: u64,
+}
+
+/// A shared pointer location with counted LL/SC (plus the plain LFRC
+/// operations via [`LinkedPtrField::as_ptr_field`]).
+///
+/// Inside an object, include the inner [`PtrField`] in the type's
+/// [`Links::for_each_link`] via [`LinkedPtrField::as_ptr_field`] so the
+/// destruction cascade sees it. As a structure root, release it manually
+/// (or via a surrounding RAII type) by storing `None` before drop.
+///
+/// # Example
+///
+/// ```
+/// use lfrc_core::llsc::LinkedPtrField;
+/// use lfrc_core::{Heap, Links, McasWord, PtrField};
+///
+/// struct Leaf;
+/// impl Links<McasWord> for Leaf {
+///     fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Leaf, McasWord>)) {}
+/// }
+///
+/// let heap: Heap<Leaf, McasWord> = Heap::new();
+/// let root: LinkedPtrField<Leaf, McasWord> = LinkedPtrField::null();
+/// let n = heap.alloc(Leaf);
+///
+/// let (cur, link) = root.load_linked();
+/// assert!(cur.is_none());
+/// assert!(root.store_conditional(&link, Some(&n)));
+/// // The link is spent: a second SC on it fails, counts compensated.
+/// assert!(!root.store_conditional(&link, Some(&n)));
+///
+/// root.store(None);
+/// drop(n);
+/// assert_eq!(heap.census().live(), 0);
+/// ```
+pub struct LinkedPtrField<T: Links<W>, W: DcasWord> {
+    field: PtrField<T, W>,
+    version: W,
+}
+
+impl<T: Links<W>, W: DcasWord> fmt::Debug for LinkedPtrField<T, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LinkedPtrField")
+            .field("field", &self.field)
+            .field("version", &self.version.load())
+            .finish()
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Default for LinkedPtrField<T, W> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> LinkedPtrField<T, W> {
+    /// A location initialized to null, version 0.
+    pub fn null() -> Self {
+        LinkedPtrField {
+            field: PtrField::null(),
+            version: W::new(0),
+        }
+    }
+
+    /// The inner plain pointer field — pass this to the [`Links`] visitor
+    /// when the location lives inside an object.
+    pub fn as_ptr_field(&self) -> &PtrField<T, W> {
+        &self.field
+    }
+
+    /// Counted LL: loads the pointer (an `LFRCLoad`) and opens a link.
+    ///
+    /// The returned [`Local`] (if any) owns one count, independent of the
+    /// link; the snapshot is consistent (pointer read between two equal
+    /// version reads).
+    pub fn load_linked(&self) -> (Option<Local<T, W>>, PtrLink) {
+        loop {
+            let version = self.version.load();
+            let current = self.field.load();
+            if self.version.load() == version {
+                return (current, PtrLink { version });
+            }
+            // A write slipped between the reads: drop the counted ref
+            // (RAII) and retry for a consistent pair.
+        }
+    }
+
+    /// Counted SC: installs `new` iff no write has hit the location since
+    /// `link` was taken. Counting follows the `LFRCDCAS` pattern:
+    /// speculative increment of `new`, compensation on failure, release
+    /// of the displaced reference on success.
+    pub fn store_conditional(&self, link: &PtrLink, new: Option<&Local<T, W>>) -> bool {
+        let new_ptr = Local::option_as_ptr(new);
+        if !new_ptr.is_null() {
+            // Safety: `new` is a live counted reference held by caller.
+            unsafe { crate::ops::add_to_rc(new_ptr, 1) };
+        }
+        // The SC must displace *whatever pointer is current at the linked
+        // version*. Re-read it: if the version still matches, the pointer
+        // read is the one the DCAS will displace (the version bump below
+        // rules out any interleaved change).
+        loop {
+            let old_word = self.field.raw().load();
+            if self.version.load() != link.version {
+                // Link broken: compensate and fail.
+                // Safety: we hold the speculative +1.
+                unsafe { crate::destroy::destroy(new_ptr) };
+                return false;
+            }
+            if W::dcas(
+                self.field.raw(),
+                &self.version,
+                old_word,
+                link.version,
+                ptr_to_word(new_ptr),
+                link.version + 1,
+            ) {
+                // Success: the location's old reference is now ours.
+                // Safety: ownership transferred by the DCAS.
+                unsafe { crate::destroy::destroy(crate::object::word_to_ptr::<T, W>(old_word)) };
+                return true;
+            }
+            // DCAS failed: either the version moved (link broken — the
+            // next iteration's check returns false) or the pointer word
+            // was re-read stale (retry).
+        }
+    }
+
+    /// `true` iff the link is still unbroken.
+    pub fn validate(&self, link: &PtrLink) -> bool {
+        self.version.load() == link.version
+    }
+
+    /// Unconditional counted store (bumps the version, breaking links).
+    pub fn store(&self, v: Option<&Local<T, W>>) {
+        loop {
+            let (_cur, ll) = self.load_linked();
+            if self.store_conditional(&ll, v) {
+                return;
+            }
+        }
+    }
+
+    /// Counted plain load (no link).
+    pub fn load(&self) -> Option<Local<T, W>> {
+        self.field.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Heap;
+    use lfrc_dcas::McasWord;
+
+    struct Leaf {
+        n: u64,
+    }
+
+    impl Links<McasWord> for Leaf {
+        fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, McasWord>)) {}
+    }
+
+    #[test]
+    fn sc_fails_after_interleaved_store() {
+        let heap: Heap<Leaf, McasWord> = Heap::new();
+        let root: LinkedPtrField<Leaf, McasWord> = LinkedPtrField::null();
+        let a = heap.alloc(Leaf { n: 1 });
+        let b = heap.alloc(Leaf { n: 2 });
+
+        let (_cur, link) = root.load_linked();
+        root.store(Some(&a)); // breaks the link
+        assert!(!root.store_conditional(&link, Some(&b)));
+        assert_eq!(root.load().unwrap().n, 1);
+
+        root.store(None);
+        drop((a, b));
+        assert_eq!(heap.census().live(), 0, "failed SC must compensate counts");
+    }
+
+    #[test]
+    fn sc_fails_on_pointer_aba() {
+        // Store a, then b, then a again: a CAS would succeed; SC must not.
+        let heap: Heap<Leaf, McasWord> = Heap::new();
+        let root: LinkedPtrField<Leaf, McasWord> = LinkedPtrField::null();
+        let a = heap.alloc(Leaf { n: 1 });
+        let b = heap.alloc(Leaf { n: 2 });
+        root.store(Some(&a));
+
+        let (cur, link) = root.load_linked();
+        assert!(Local::ptr_eq(cur.as_ref().unwrap(), &a));
+        root.store(Some(&b));
+        root.store(Some(&a)); // pointer ABA
+        assert!(!root.store_conditional(&link, None), "SC must detect ABA");
+        assert!(root.load().is_some());
+
+        root.store(None);
+        drop((a, b, cur));
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn concurrent_sc_single_winner_counts_balance() {
+        use std::sync::Barrier;
+        const THREADS: usize = 6;
+        let heap: Heap<Leaf, McasWord> = Heap::new();
+        let root: LinkedPtrField<Leaf, McasWord> = LinkedPtrField::null();
+        let (_cur, link) = root.load_linked();
+        let barrier = Barrier::new(THREADS);
+        let mut wins = 0;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let (heap, root, barrier) = (&heap, &root, &barrier);
+                let link = link;
+                handles.push(s.spawn(move || {
+                    let mine = heap.alloc(Leaf { n: t as u64 });
+                    barrier.wait();
+                    root.store_conditional(&link, Some(&mine))
+                }));
+            }
+            for h in handles {
+                if h.join().unwrap() {
+                    wins += 1;
+                }
+            }
+        });
+        assert_eq!(wins, 1, "exactly one SC may win a shared link");
+        root.store(None);
+        assert_eq!(heap.census().live(), 0, "losers must compensate their counts");
+    }
+
+    #[test]
+    fn ll_sc_increment_chain() {
+        // Swap through a sequence of nodes with LL/SC; every displaced
+        // node must be freed on the spot.
+        let heap: Heap<Leaf, McasWord> = Heap::new();
+        let root: LinkedPtrField<Leaf, McasWord> = LinkedPtrField::null();
+        for i in 0..100 {
+            loop {
+                let (_cur, link) = root.load_linked();
+                let fresh = heap.alloc(Leaf { n: i });
+                if root.store_conditional(&link, Some(&fresh)) {
+                    break;
+                }
+            }
+            assert!(heap.census().live() <= 2);
+        }
+        root.store(None);
+        assert_eq!(heap.census().live(), 0);
+    }
+}

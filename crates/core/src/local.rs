@@ -1,0 +1,191 @@
+//! Counted local references — the paper's step 6, automated.
+//!
+//! The paper requires: "Whenever a thread loses a pointer (for example
+//! when a function that has local pointer variables returns …), it first
+//! calls LFRCDestroy() with this pointer." In Rust, RAII does this for
+//! us: a [`Local`] *is* a local pointer variable whose destroy runs on
+//! `Drop`, and whose `LFRCCopy` runs on `Clone`.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::ptr::{self, NonNull};
+
+use lfrc_dcas::DcasWord;
+
+use crate::object::{LfrcBox, Links};
+
+/// An owned, counted reference to an LFRC object.
+///
+/// Exactly one unit of the object's reference count belongs to each
+/// `Local`; `Clone` adds one (`LFRCCopy`), `Drop` releases one
+/// (`LFRCDestroy`). Nullness is modelled as `Option<Local<..>>` at the
+/// API surface, so a `Local` always dereferences to a live value.
+///
+/// Dereferencing yields `&T` — shared access only, like the paper's
+/// algorithms, which mutate nodes exclusively through the LFRC pointer
+/// operations (and value cells).
+pub struct Local<T: Links<W>, W: DcasWord> {
+    ptr: NonNull<LfrcBox<T, W>>,
+    _marker: PhantomData<LfrcBox<T, W>>,
+}
+
+// Safety: a `Local` is a counted handle to a `Send + Sync` object
+// (`Links` requires both); moving or sharing the handle moves/shares only
+// shared access plus atomic count updates.
+unsafe impl<T: Links<W>, W: DcasWord> Send for Local<T, W> {}
+unsafe impl<T: Links<W>, W: DcasWord> Sync for Local<T, W> {}
+
+impl<T: Links<W>, W: DcasWord> Local<T, W> {
+    /// Wraps an already-counted non-null pointer (the count transfers to
+    /// the new `Local`). Returns `None` for null.
+    ///
+    /// # Safety
+    ///
+    /// `p` must be null or a counted reference owned by the caller, who
+    /// gives the count up.
+    pub(crate) unsafe fn from_counted_raw(p: *mut LfrcBox<T, W>) -> Option<Self> {
+        NonNull::new(p).map(|ptr| Local {
+            ptr,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Releases ownership of the count, returning the raw pointer.
+    pub(crate) fn into_counted_raw(this: Self) -> *mut LfrcBox<T, W> {
+        let p = this.ptr.as_ptr();
+        std::mem::forget(this);
+        p
+    }
+
+    /// The raw pointer (identity only — no count is transferred, and the
+    /// pointer must not outlive this `Local`). Needed to call the raw
+    /// [`ops`](crate::ops) layer, e.g. `dcas_ptr_word`, from outside this
+    /// crate.
+    pub fn as_raw(this: &Self) -> *mut LfrcBox<T, W> {
+        this.ptr.as_ptr()
+    }
+
+    /// Raw pointer of an optional reference (null for `None`); see
+    /// [`Local::as_raw`].
+    pub fn option_as_raw(v: Option<&Self>) -> *mut LfrcBox<T, W> {
+        v.map_or(ptr::null_mut(), Self::as_raw)
+    }
+
+    /// Internal alias kept for the safe wrappers.
+    pub(crate) fn as_ptr(&self) -> *mut LfrcBox<T, W> {
+        Self::as_raw(self)
+    }
+
+    /// Internal alias kept for the safe wrappers.
+    pub(crate) fn option_as_ptr(v: Option<&Self>) -> *mut LfrcBox<T, W> {
+        Self::option_as_raw(v)
+    }
+
+    /// Whether two references denote the same object.
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        a.ptr == b.ptr
+    }
+
+    /// Whether two optional references denote the same object (two `None`s
+    /// are equal, matching the paper's null-pointer comparisons).
+    pub fn option_ptr_eq(a: Option<&Self>, b: Option<&Self>) -> bool {
+        Self::option_as_ptr(a) == Self::option_as_ptr(b)
+    }
+
+    /// The object's current reference count (racy; diagnostics only).
+    pub fn ref_count(this: &Self) -> u64 {
+        this.object().ref_count()
+    }
+
+    fn object(&self) -> &LfrcBox<T, W> {
+        // Safety: the count this Local owns keeps the object alive.
+        unsafe { self.ptr.as_ref() }
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Deref for Local<T, W> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        let obj = self.object();
+        obj.assert_alive();
+        &obj.value
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Clone for Local<T, W> {
+    /// `LFRCCopy`: creating another local pointer increments the count.
+    fn clone(&self) -> Self {
+        // Safety: we hold a counted reference.
+        unsafe { crate::ops::add_to_rc(self.as_ptr(), 1) };
+        Local {
+            ptr: self.ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Drop for Local<T, W> {
+    /// `LFRCDestroy`: losing a local pointer releases its count.
+    fn drop(&mut self) {
+        // Safety: this Local's count is given up exactly once.
+        unsafe { crate::destroy::destroy(self.ptr.as_ptr()) };
+    }
+}
+
+impl<T: Links<W> + fmt::Debug, W: DcasWord> fmt::Debug for Local<T, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Local").field(&**self).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Heap, PtrField};
+    use lfrc_dcas::McasWord;
+
+    struct Leaf {
+        n: u64,
+    }
+
+    impl Links<McasWord> for Leaf {
+        fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, McasWord>)) {}
+    }
+
+    #[test]
+    fn clone_and_drop_balance_counts() {
+        let heap: Heap<Leaf, McasWord> = Heap::new();
+        let a = heap.alloc(Leaf { n: 5 });
+        assert_eq!(Local::ref_count(&a), 1);
+        let b = a.clone();
+        assert_eq!(Local::ref_count(&a), 2);
+        assert!(Local::ptr_eq(&a, &b));
+        assert_eq!(b.n, 5);
+        drop(b);
+        assert_eq!(Local::ref_count(&a), 1);
+        drop(a);
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn option_ptr_eq_handles_none() {
+        let heap: Heap<Leaf, McasWord> = Heap::new();
+        let a = heap.alloc(Leaf { n: 1 });
+        assert!(Local::<Leaf, McasWord>::option_ptr_eq(None, None));
+        assert!(!Local::option_ptr_eq(Some(&a), None));
+        assert!(Local::option_ptr_eq(Some(&a), Some(&a)));
+    }
+
+    #[test]
+    fn send_across_threads() {
+        let heap: Heap<Leaf, McasWord> = Heap::new();
+        let a = heap.alloc(Leaf { n: 9 });
+        let b = a.clone();
+        let j = std::thread::spawn(move || b.n);
+        assert_eq!(j.join().unwrap(), 9);
+        drop(a);
+        assert_eq!(heap.census().live(), 0);
+    }
+}

@@ -1,0 +1,346 @@
+//! The LFRC object model: headers, link traversal, and allocation.
+//!
+//! Paper step 1 — *"Add a field `rc` to each object type … set to 1 in a
+//! newly-created object"* — becomes the [`LfrcBox`] header wrapping every
+//! user value. Paper step 2 — *"LFRCDestroy should recursively call itself
+//! with each pointer in the object"* — becomes the [`Links`] trait, the
+//! "most convenient and language-independent way to iterate over all
+//! pointers in an object".
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lfrc_dcas::{DcasWord, MAX_PAYLOAD};
+
+use crate::diag::{Census, CANARY_ALIVE, CANARY_FREED};
+use crate::local::Local;
+
+/// Declares where an object's LFRC-managed pointers live.
+///
+/// This is the paper's step 2: destruction must be able to visit every
+/// pointer field so reference counts cascade correctly. Implementations
+/// must call `f` on **every** [`PtrField`] the type contains — missing one
+/// leaks whatever that field points at.
+///
+/// The object graph is homogeneous in `Self` (the paper's Snark has a
+/// single node type, `SNode`); heterogeneous graphs can use an `enum`
+/// node payload.
+pub trait Links<W: DcasWord>: Send + Sync + Sized + 'static {
+    /// Invokes `f` on each LFRC pointer field of `self`.
+    fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<Self, W>));
+}
+
+/// An LFRC-managed heap object: reference-count header plus user value.
+///
+/// Created by [`Heap::alloc`]; freed automatically when its reference
+/// count reaches zero. User code normally never names this type — it works
+/// with [`Local`] handles — but the raw [`ops`](crate::ops) layer (the
+/// paper's Figure 2) traffics in `*mut LfrcBox`.
+#[repr(C)]
+pub struct LfrcBox<T: Links<W>, W: DcasWord> {
+    /// Paper step 1: the reference count. A DCAS-capable cell so that
+    /// `LFRCLoad` can update it atomically with a pointer check.
+    pub(crate) rc: W,
+    /// Poisoned on free; checked by count mutators and `Local` derefs.
+    pub(crate) canary: AtomicU64,
+    /// Intrusive hook for the incremental-destruction backlog (§7).
+    pub(crate) backlog_next: AtomicUsize,
+    /// Accounting for the heap this object came from.
+    pub(crate) census: Arc<Census>,
+    /// The user value.
+    pub(crate) value: T,
+}
+
+impl<T: Links<W>, W: DcasWord> LfrcBox<T, W> {
+    /// The reference-count cell (exposed for the raw `ops` layer and for
+    /// mixed pointer×word DCAS as in the repaired Snark pops).
+    pub fn rc_cell(&self) -> &W {
+        &self.rc
+    }
+
+    /// The wrapped user value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Current reference count (racy snapshot; diagnostics only).
+    pub fn ref_count(&self) -> u64 {
+        self.rc.load()
+    }
+
+    /// `true` while the object has not been logically freed.
+    pub(crate) fn is_alive(&self) -> bool {
+        self.canary.load(Ordering::SeqCst) == CANARY_ALIVE
+    }
+
+    pub(crate) fn assert_alive(&self) {
+        debug_assert!(
+            self.is_alive(),
+            "LFRC object accessed after logical free (canary poisoned)"
+        );
+    }
+}
+
+impl<T: Links<W> + fmt::Debug, W: DcasWord> fmt::Debug for LfrcBox<T, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LfrcBox")
+            .field("rc", &self.ref_count())
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+/// Reads a pointer field's raw cell word (crate-internal: audit walks).
+pub(crate) fn field_raw_load<T: Links<W>, W: DcasWord>(field: &PtrField<T, W>) -> u64 {
+    field.raw().load()
+}
+
+/// Converts a possibly-null object pointer to the payload stored in a cell.
+#[inline]
+pub(crate) fn ptr_to_word<T: Links<W>, W: DcasWord>(p: *mut LfrcBox<T, W>) -> u64 {
+    let w = p as usize as u64;
+    debug_assert!(w <= MAX_PAYLOAD, "pointer exceeds 62-bit payload");
+    w
+}
+
+/// Converts a cell payload back to a possibly-null object pointer.
+#[inline]
+pub(crate) fn word_to_ptr<T: Links<W>, W: DcasWord>(w: u64) -> *mut LfrcBox<T, W> {
+    w as usize as *mut LfrcBox<T, W>
+}
+
+/// A shared pointer slot inside (or alongside) LFRC objects.
+///
+/// This is the paper's `SNode **A` — "a pointer to a shared memory
+/// location that contains a pointer". All access goes through the LFRC
+/// operations; the safe methods here wrap [`crate::ops`] one-for-one:
+///
+/// | method | paper operation |
+/// |---|---|
+/// | [`PtrField::load`] | `LFRCLoad` |
+/// | [`PtrField::store`] | `LFRCStore` |
+/// | [`PtrField::store_consume`] | `LFRCStoreAlloc` |
+/// | [`PtrField::compare_and_set`] | `LFRCCAS` |
+/// | [`PtrField::dcas`] | `LFRCDCAS` |
+///
+/// Fields inside objects are visited by [`Links::for_each_link`] during
+/// destruction; *standalone* roots should prefer
+/// [`SharedField`](crate::SharedField), whose `Drop` releases the
+/// reference automatically (fields inside objects must **not** do that —
+/// destruction of the containing object already accounts for them).
+pub struct PtrField<T: Links<W>, W: DcasWord> {
+    cell: W,
+    _marker: PhantomData<*mut LfrcBox<T, W>>,
+}
+
+// Safety: a `PtrField` is an atomic cell; the objects it points to are
+// `Send + Sync` (`Links` requires it).
+unsafe impl<T: Links<W>, W: DcasWord> Send for PtrField<T, W> {}
+unsafe impl<T: Links<W>, W: DcasWord> Sync for PtrField<T, W> {}
+
+impl<T: Links<W>, W: DcasWord> Default for PtrField<T, W> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> fmt::Debug for PtrField<T, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PtrField({:#x})", self.cell.load())
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> PtrField<T, W> {
+    /// A field initialized to null.
+    ///
+    /// Paper step 6: "all pointer variables must be initialized to NULL
+    /// before being used with any of the LFRC operations".
+    pub fn null() -> Self {
+        PtrField {
+            cell: W::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying DCAS cell (raw `ops` layer only).
+    pub(crate) fn raw(&self) -> &W {
+        &self.cell
+    }
+
+    /// `true` if the field currently holds null (uncounted peek).
+    pub fn is_null(&self) -> bool {
+        self.cell.load() == 0
+    }
+
+    /// `LFRCLoad`: loads the pointer, returning a counted local reference
+    /// (or `None` for null).
+    pub fn load(&self) -> Option<Local<T, W>> {
+        let mut dest: *mut LfrcBox<T, W> = ptr::null_mut();
+        // Safety: `dest` starts null (nothing to over-destroy); the
+        // returned pointer's count is owned by the new `Local`.
+        unsafe {
+            crate::ops::load(self, &mut dest);
+            Local::from_counted_raw(dest)
+        }
+    }
+
+    /// `LFRCStore`: stores `v` (incrementing its count), releasing the
+    /// reference previously held by the field.
+    pub fn store(&self, v: Option<&Local<T, W>>) {
+        // Safety: `v` is a live counted reference (or null).
+        unsafe { crate::ops::store(self, Local::option_as_ptr(v)) }
+    }
+
+    /// `LFRCStoreAlloc`: stores `v`, *consuming* its count instead of
+    /// incrementing — "more convenient than explicitly saving the pointer
+    /// returned by `new` so that it can be immediately LFRCDestroyed"
+    /// (paper Figure 1 caption).
+    pub fn store_consume(&self, v: Local<T, W>) {
+        let p = Local::into_counted_raw(v);
+        // Safety: `p`'s count is transferred to the field.
+        unsafe { crate::ops::store_alloc(self, p) }
+    }
+
+    /// `LFRCCAS`: atomically replaces `expected` with `new`.
+    ///
+    /// Identity is pointer equality. Returns `true` on success.
+    pub fn compare_and_set(&self, expected: Option<&Local<T, W>>, new: Option<&Local<T, W>>) -> bool {
+        // Safety: both are live counted references (or null).
+        unsafe {
+            crate::ops::cas(
+                self,
+                Local::option_as_ptr(expected),
+                Local::option_as_ptr(new),
+            )
+        }
+    }
+
+    /// `LFRCDCAS`: atomically replaces `a_expected`/`b_expected` in two
+    /// independently chosen fields with `a_new`/`b_new`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dcas(
+        a: &Self,
+        b: &Self,
+        a_expected: Option<&Local<T, W>>,
+        b_expected: Option<&Local<T, W>>,
+        a_new: Option<&Local<T, W>>,
+        b_new: Option<&Local<T, W>>,
+    ) -> bool {
+        // Safety: all are live counted references (or null).
+        unsafe {
+            crate::ops::dcas(
+                a,
+                b,
+                Local::option_as_ptr(a_expected),
+                Local::option_as_ptr(b_expected),
+                Local::option_as_ptr(a_new),
+                Local::option_as_ptr(b_new),
+            )
+        }
+    }
+}
+
+/// An allocator of LFRC objects of one node type, with census attached.
+///
+/// Lock-free structures own a `Heap` and allocate nodes from it; the heap
+/// imposes **no freelist and no type-stable-memory restriction** — nodes
+/// go straight to (and come straight back from) the global allocator,
+/// which is precisely the property the paper contrasts against Valois'
+/// scheme (§1).
+pub struct Heap<T: Links<W>, W: DcasWord> {
+    census: Arc<Census>,
+    _marker: PhantomData<fn() -> (T, W)>,
+}
+
+impl<T: Links<W>, W: DcasWord> fmt::Debug for Heap<T, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Heap").field("census", &self.census).finish()
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Default for Heap<T, W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Clone for Heap<T, W> {
+    fn clone(&self) -> Self {
+        Heap {
+            census: Arc::clone(&self.census),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Heap<T, W> {
+    /// Creates a heap with a fresh census.
+    pub fn new() -> Self {
+        Self::with_census(Arc::new(Census::new()))
+    }
+
+    /// Creates a heap that reports into an existing census.
+    pub fn with_census(census: Arc<Census>) -> Self {
+        Heap {
+            census,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The census this heap reports into.
+    pub fn census(&self) -> &Arc<Census> {
+        &self.census
+    }
+
+    /// Allocates a new object with reference count 1 (paper step 1: "this
+    /// field should be set to 1 in a newly-created object"), returning the
+    /// counted local reference that the count covers.
+    pub fn alloc(&self, value: T) -> Local<T, W> {
+        let boxed = Box::new(LfrcBox {
+            rc: W::new(1),
+            canary: AtomicU64::new(CANARY_ALIVE),
+            backlog_next: AtomicUsize::new(0),
+            census: Arc::clone(&self.census),
+            value,
+        });
+        self.census.note_alloc(std::mem::size_of::<LfrcBox<T, W>>());
+        let raw = Box::into_raw(boxed);
+        // Safety: fresh allocation, count 1, owned by the returned Local.
+        unsafe { Local::from_counted_raw(raw).expect("fresh allocation is non-null") }
+    }
+}
+
+/// Logically frees an object whose reference count has reached zero.
+///
+/// Poisons the canary, updates the census, and releases the memory —
+/// physically deferred through the DCAS emulator's grace period (or
+/// parked in quarantine while the census has quarantine mode on).
+///
+/// # Safety
+///
+/// `ptr`'s reference count must have just reached zero (exclusive
+/// access), with all link fields already harvested.
+pub(crate) unsafe fn free_object<T: Links<W>, W: DcasWord>(ptr: *mut LfrcBox<T, W>) {
+    // Safety: exclusive access per contract.
+    let obj = unsafe { &*ptr };
+    // The canary swap makes free idempotent: the deliberately unsound
+    // protocol of experiment E5 can race two frees onto one object (an
+    // increment landing in the instant between the freeing decision and
+    // this poison store); the loser is counted, not executed.
+    if obj.canary.swap(CANARY_FREED, Ordering::SeqCst) != CANARY_ALIVE {
+        obj.census.note_rc_on_freed();
+        return;
+    }
+    obj.census.note_free(std::mem::size_of::<LfrcBox<T, W>>());
+    let census = Arc::clone(&obj.census);
+    if census.quarantine_on() {
+        // Safety: pushed exactly once; drained after the experiment.
+        unsafe { census.quarantine_push(ptr) };
+    } else {
+        // Safety: retired exactly once; the algorithm holds no pointers.
+        unsafe { lfrc_dcas::retire_box(ptr) };
+    }
+}

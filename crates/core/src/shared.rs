@@ -1,0 +1,233 @@
+//! Standalone shared pointer roots.
+//!
+//! The hats of the paper's Snark (`LeftHat`, `RightHat`, `Dummy`) are
+//! shared pointer locations that live *outside* any LFRC object, so no
+//! `LFRCDestroy` cascade ever reaches them; the paper handles this with
+//! an explicit destructor that stores null into each (§4 step 6: "it is
+//! also important to explicitly remove pointers contained in a statically
+//! allocated object before destroying that object"). [`SharedField`]
+//! automates exactly that: it is a [`PtrField`] whose `Drop` releases the
+//! reference it holds.
+
+use std::fmt;
+use std::ops::Deref;
+
+use lfrc_dcas::DcasWord;
+
+use crate::local::Local;
+use crate::object::{Links, PtrField};
+
+/// A shared pointer location with RAII release — for structure roots.
+///
+/// Dereferences to [`PtrField`], so all the LFRC operations (`load`,
+/// `store`, `compare_and_set`, `dcas`, …) are available directly.
+///
+/// Do **not** use this type for pointer fields *inside* LFRC objects:
+/// those are released by the destruction cascade via
+/// [`Links::for_each_link`], and an RAII release would double-count.
+/// (That is why [`Links`] deals in `PtrField`.)
+pub struct SharedField<T: Links<W>, W: DcasWord> {
+    field: PtrField<T, W>,
+}
+
+impl<T: Links<W>, W: DcasWord> SharedField<T, W> {
+    /// A root initialized to null.
+    pub fn null() -> Self {
+        SharedField {
+            field: PtrField::null(),
+        }
+    }
+
+    /// A root initialized to `v` (count incremented).
+    pub fn new(v: Option<&Local<T, W>>) -> Self {
+        let root = Self::null();
+        root.store(v);
+        root
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Default for SharedField<T, W> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Deref for SharedField<T, W> {
+    type Target = PtrField<T, W>;
+
+    fn deref(&self) -> &PtrField<T, W> {
+        &self.field
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> Drop for SharedField<T, W> {
+    fn drop(&mut self) {
+        // Paper §4 step 6: write null before the location disappears, so
+        // the reference it held is released.
+        self.field.store(None);
+    }
+}
+
+impl<T: Links<W>, W: DcasWord> fmt::Debug for SharedField<T, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SharedField").field(&self.field).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Heap;
+    use lfrc_dcas::McasWord;
+
+    struct Node {
+        n: u64,
+        next: PtrField<Node, McasWord>,
+    }
+
+    impl Links<McasWord> for Node {
+        fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<Self, McasWord>)) {
+            f(&self.next);
+        }
+    }
+
+    fn heap() -> Heap<Node, McasWord> {
+        Heap::new()
+    }
+
+    #[test]
+    fn root_drop_releases_reference() {
+        let heap = heap();
+        {
+            let root: SharedField<Node, McasWord> = SharedField::null();
+            let n = heap.alloc(Node {
+                n: 3,
+                next: PtrField::null(),
+            });
+            root.store(Some(&n));
+            drop(n);
+            assert_eq!(heap.census().live(), 1);
+        } // root drops here
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let heap = heap();
+        let root: SharedField<Node, McasWord> = SharedField::null();
+        assert!(root.load().is_none());
+        let n = heap.alloc(Node {
+            n: 42,
+            next: PtrField::null(),
+        });
+        root.store(Some(&n));
+        let got = root.load().expect("stored");
+        assert_eq!(got.n, 42);
+        assert!(Local::ptr_eq(&n, &got));
+        root.store(None);
+        assert!(root.load().is_none());
+        drop((n, got));
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn store_consume_skips_extra_count() {
+        let heap = heap();
+        let root: SharedField<Node, McasWord> = SharedField::null();
+        let n = heap.alloc(Node {
+            n: 1,
+            next: PtrField::null(),
+        });
+        root.store_consume(n); // rc stays 1, now owned by the root
+        let got = root.load().expect("stored");
+        assert_eq!(Local::ref_count(&got), 2); // root + local
+        drop(got);
+        root.store(None);
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn compare_and_set_success_and_failure() {
+        let heap = heap();
+        let root: SharedField<Node, McasWord> = SharedField::null();
+        let a = heap.alloc(Node {
+            n: 1,
+            next: PtrField::null(),
+        });
+        let b = heap.alloc(Node {
+            n: 2,
+            next: PtrField::null(),
+        });
+        assert!(root.compare_and_set(None, Some(&a)));
+        assert!(!root.compare_and_set(None, Some(&b)), "expected-null must fail");
+        assert!(root.compare_and_set(Some(&a), Some(&b)));
+        let got = root.load().unwrap();
+        assert!(Local::ptr_eq(&got, &b));
+        drop((a, b, got));
+        root.store(None);
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn dcas_two_roots() {
+        let heap = heap();
+        let r0: SharedField<Node, McasWord> = SharedField::null();
+        let r1: SharedField<Node, McasWord> = SharedField::null();
+        let a = heap.alloc(Node {
+            n: 1,
+            next: PtrField::null(),
+        });
+        let b = heap.alloc(Node {
+            n: 2,
+            next: PtrField::null(),
+        });
+        r0.store(Some(&a));
+        r1.store(Some(&b));
+        // Swap the two roots atomically.
+        assert!(PtrField::dcas(
+            &r0,
+            &r1,
+            Some(&a),
+            Some(&b),
+            Some(&b),
+            Some(&a),
+        ));
+        assert!(Local::ptr_eq(&r0.load().unwrap(), &b));
+        assert!(Local::ptr_eq(&r1.load().unwrap(), &a));
+        // Stale expectations: must fail and change nothing.
+        assert!(!PtrField::dcas(
+            &r0,
+            &r1,
+            Some(&a),
+            Some(&b),
+            None,
+            None,
+        ));
+        assert!(Local::ptr_eq(&r0.load().unwrap(), &b));
+        drop((a, b));
+        r0.store(None);
+        r1.store(None);
+        assert_eq!(heap.census().live(), 0);
+    }
+
+    #[test]
+    fn linked_chain_cascades_on_destroy() {
+        let heap = heap();
+        // head -> n1 -> n2 -> n3
+        let mut head = heap.alloc(Node {
+            n: 0,
+            next: PtrField::null(),
+        });
+        for i in 1..=3 {
+            let n = heap.alloc(Node {
+                n: i,
+                next: PtrField::null(),
+            });
+            n.next.store_consume(head);
+            head = n;
+        }
+        assert_eq!(heap.census().live(), 4);
+        drop(head); // cascade should free all four
+        assert_eq!(heap.census().live(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The emulator's private reclamation domain.
+//!
+//! Two kinds of memory must outlive their logical lifetime inside the
+//! DCAS emulation:
+//!
+//! 1. **Operation descriptors** (MCAS/RDCSS): helpers may dereference a
+//!    descriptor found in a cell after the owning operation finished.
+//! 2. **User allocations containing cells**: a failing emulated DCAS (or a
+//!    lagging helper) may still *read* a cell inside an object the
+//!    algorithm has already freed — exactly the stray read hardware DCAS
+//!    performs (see the crate docs).
+//!
+//! Both are retired into one process-wide epoch [`Collector`]
+//! (`lfrc-reclaim`); every emulated operation runs inside a pin guard, so
+//! retired memory is physically freed only once no in-flight operation can
+//! touch it. None of this is visible to the LFRC algorithm above: it calls
+//! "free" where the paper says, and never sees the object again.
+
+use std::cell::OnceCell;
+use std::sync::OnceLock;
+
+use lfrc_reclaim::epoch::Guard;
+use lfrc_reclaim::stats::StatsSnapshot;
+use lfrc_reclaim::{Collector, LocalHandle};
+
+fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(Collector::new)
+}
+
+thread_local! {
+    static HANDLE: OnceCell<LocalHandle> = const { OnceCell::new() };
+}
+
+/// Runs `f` with the calling thread pinned in the emulator's epoch.
+///
+/// Every cell operation of every strategy goes through this; nesting is
+/// cheap (reentrant pinning).
+///
+/// Exposed publicly because a *composite* algorithm step sometimes needs
+/// the pin to span several cell operations: the LFRC `load`, for example,
+/// reads a pointer cell and then touches the referent's reference-count
+/// cell — the referent may be logically freed in between, and only the
+/// emulator's grace period keeps its memory mapped for the failing DCAS,
+/// exactly as physical memory would remain mapped under hardware DCAS.
+pub fn with_guard<R>(f: impl FnOnce(&Guard<'_>) -> R) -> R {
+    HANDLE.with(|h| {
+        let handle = h.get_or_init(|| collector().register());
+        let guard = handle.pin();
+        f(&guard)
+    })
+}
+
+/// Defers physical deallocation of a `Box`-allocated object until no
+/// in-flight emulated DCAS/MCAS can still read its cells.
+///
+/// Call this instead of `drop(Box::from_raw(ptr))` for **any** allocation
+/// that contains [`DcasWord`](crate::DcasWord) cells. The object's `Drop`
+/// implementation runs when the grace period expires.
+///
+/// # Safety
+///
+/// * `ptr` must come from [`Box::into_raw`] and be retired exactly once.
+/// * The *algorithm* must no longer reach the object through live pointers
+///   (for LFRC that is guaranteed: the reference count hit zero).
+pub unsafe fn retire_box<T: Send + 'static>(ptr: *mut T) {
+    with_guard(|guard| unsafe { guard.defer_destroy(ptr) });
+}
+
+/// Counters of the emulator's reclamation domain (descriptors + retired
+/// user objects). Used by the memory experiments to report how much
+/// physically-unreclaimed memory the emulation itself is holding.
+pub fn emulation_stats() -> StatsSnapshot {
+    collector().stats()
+}
+
+/// Drives the emulator's collector until everything currently eligible is
+/// freed. Intended for tests and experiment teardown (call from a moment
+/// when no other thread is mid-operation).
+pub fn quiesce() {
+    HANDLE.with(|h| {
+        let handle = h.get_or_init(|| collector().register());
+        handle.flush();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn retire_box_defers_then_frees() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Noisy;
+        impl Drop for Noisy {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let before = DROPS.load(Ordering::SeqCst);
+        let p = Box::into_raw(Box::new(Noisy));
+        unsafe { retire_box(p) };
+        quiesce();
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+    }
+
+    #[test]
+    fn with_guard_is_reentrant() {
+        with_guard(|_g1| {
+            with_guard(|_g2| {
+                // Nested pinning must not deadlock or panic.
+            });
+        });
+    }
+}

@@ -1,0 +1,202 @@
+//! Emulated **load-linked / store-conditional** over DCAS cells.
+//!
+//! The paper (§2.1) notes: "it should be straightforward to extend our
+//! methodology to support other operations such as load-linked and
+//! store-conditional." This module supplies the substrate half of that
+//! extension; `lfrc-core::ops::{load_linked, store_conditional}` builds
+//! the counted half on top.
+//!
+//! Emulation: a [`LlScCell`] pairs a value cell with a version cell that
+//! every write bumps. `ll` snapshots ⟨value, version⟩ consistently;
+//! `sc` is a DCAS that replaces the value *and* bumps the version only
+//! if the version is unchanged since the `ll` — so `sc` fails after
+//! **any** intervening write, even an ABA one that restored the original
+//! value. (That is the semantic gap between real LL/SC and CAS, and the
+//! emulation preserves it; there are no spurious failures apart from
+//! 62-bit version wraparound.)
+
+use std::fmt;
+
+use crate::DcasWord;
+
+/// The token returned by [`LlScCell::ll`], consumed by [`LlScCell::sc`].
+///
+/// Tied to the cell by the borrow in `sc`; using a token from a
+/// different cell is a logic error (the version spaces are independent,
+/// so it simply fails).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Linked {
+    /// The value observed by the `ll`.
+    pub value: u64,
+    version: u64,
+}
+
+impl Linked {
+    /// The observed value (convenience accessor).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A word cell supporting `ll`/`sc` in addition to the plain operations.
+pub struct LlScCell<W: DcasWord> {
+    value: W,
+    version: W,
+}
+
+impl<W: DcasWord> fmt::Debug for LlScCell<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LlScCell")
+            .field("value", &self.value.load())
+            .field("version", &self.version.load())
+            .finish()
+    }
+}
+
+impl<W: DcasWord> LlScCell<W> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: u64) -> Self {
+        LlScCell {
+            value: W::new(value),
+            version: W::new(0),
+        }
+    }
+
+    /// Plain atomic read.
+    pub fn load(&self) -> u64 {
+        self.value.load()
+    }
+
+    /// Plain atomic write (breaks all outstanding links).
+    pub fn store(&self, value: u64) {
+        loop {
+            let link = self.ll();
+            if self.sc(link, value) {
+                return;
+            }
+        }
+    }
+
+    /// Load-linked: reads the value and opens a link.
+    pub fn ll(&self) -> Linked {
+        loop {
+            let version = self.version.load();
+            let value = self.value.load();
+            // The snapshot is consistent iff the version did not move
+            // between the two reads.
+            if self.version.load() == version {
+                return Linked { value, version };
+            }
+        }
+    }
+
+    /// Store-conditional: installs `new` iff no write (by any thread)
+    /// has hit the cell since `link` was taken.
+    pub fn sc(&self, link: Linked, new: u64) -> bool {
+        W::dcas(
+            &self.value,
+            &self.version,
+            link.value,
+            link.version,
+            new,
+            link.version + 1,
+        )
+    }
+
+    /// Validate: `true` iff the link is still unbroken.
+    pub fn validate(&self, link: Linked) -> bool {
+        self.version.load() == link.version
+    }
+
+    /// The underlying value cell (for mixed multi-word operations at the
+    /// layer above; writes through it bypass the version and break the
+    /// LL/SC contract, so it is read-only by convention).
+    pub fn value_cell(&self) -> &W {
+        &self.value
+    }
+
+    /// The underlying version cell (see [`LlScCell::value_cell`]).
+    pub fn version_cell(&self) -> &W {
+        &self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::McasWord;
+    use std::sync::Barrier;
+
+    #[test]
+    fn ll_sc_roundtrip() {
+        let c: LlScCell<McasWord> = LlScCell::new(5);
+        let link = c.ll();
+        assert_eq!(link.value(), 5);
+        assert!(c.validate(link));
+        assert!(c.sc(link, 6));
+        assert_eq!(c.load(), 6);
+        // The old link is broken now.
+        assert!(!c.validate(link));
+        assert!(!c.sc(link, 7));
+        assert_eq!(c.load(), 6);
+    }
+
+    #[test]
+    fn sc_fails_after_aba() {
+        // The property CAS cannot give: a value restored to the original
+        // still breaks the link.
+        let c: LlScCell<McasWord> = LlScCell::new(1);
+        let link = c.ll();
+        c.store(2);
+        c.store(1); // ABA: value back to 1
+        assert_eq!(c.load(), 1);
+        assert!(!c.sc(link, 9), "sc must fail despite the value matching");
+        assert_eq!(c.load(), 1);
+    }
+
+    #[test]
+    fn exactly_one_sc_wins() {
+        const THREADS: usize = 8;
+        let c: LlScCell<McasWord> = LlScCell::new(0);
+        let link = c.ll();
+        let barrier = Barrier::new(THREADS);
+        let mut wins = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let (c, barrier) = (&c, &barrier);
+                handles.push(s.spawn(move || {
+                    barrier.wait();
+                    c.sc(link, t as u64 + 1)
+                }));
+            }
+            for h in handles {
+                wins.push(h.join().unwrap());
+            }
+        });
+        assert_eq!(wins.iter().filter(|w| **w).count(), 1);
+    }
+
+    #[test]
+    fn concurrent_increment_via_ll_sc() {
+        const THREADS: usize = 4;
+        const PER: u64 = 2_000;
+        let c: LlScCell<McasWord> = LlScCell::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        loop {
+                            let link = c.ll();
+                            if c.sc(link, link.value() + 1) {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.load(), THREADS as u64 * PER);
+    }
+}

@@ -1,0 +1,550 @@
+//! Lock-free multi-word CAS via operation descriptors (Harris–Fraser).
+//!
+//! This is the primary DCAS strategy. The construction follows Harris,
+//! Fraser & Pratt, *A Practical Multi-Word Compare-and-Swap Operation*
+//! (DISC 2002) — the canonical software realization of the multi-location
+//! atomic the LFRC paper assumes in hardware:
+//!
+//! * An **MCAS descriptor** publishes the whole operation (entries sorted
+//!   by cell address, plus a three-state status word).
+//! * Phase 1 installs the descriptor into each cell via **RDCSS** — a
+//!   restricted double-compare single-swap that atomically checks "is the
+//!   operation still undecided?" while swapping `old → descriptor`. Any
+//!   mismatch decides the operation `Failed`.
+//! * The status CAS (`Undecided → Succeeded/Failed`) is the linearization
+//!   point.
+//! * Phase 2 replaces descriptor pointers with the new (or, on failure,
+//!   the old) values.
+//!
+//! Threads that encounter a descriptor *help* the operation to completion
+//! and retry their own — no thread ever waits on another, so every cell
+//! operation is lock-free.
+//!
+//! Descriptors are heap-allocated and retired through the emulator's
+//! epoch domain ([`crate::emu`]); an installer remains pinned for as long
+//! as its descriptor can be reachable from any cell, which makes helping
+//! safe (see DESIGN.md §5.2 for the full argument).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::emu::with_guard;
+use crate::{DcasWord, McasOp, MAX_PAYLOAD};
+
+const TAG_MASK: u64 = 0b11;
+const TAG_VALUE: u64 = 0b00;
+const TAG_MCAS: u64 = 0b01;
+const TAG_RDCSS: u64 = 0b10;
+
+const UNDECIDED: u64 = 0;
+const SUCCEEDED: u64 = 1;
+const FAILED: u64 = 2;
+
+#[inline]
+fn encode(value: u64) -> u64 {
+    debug_assert!(value <= MAX_PAYLOAD, "payload exceeds 62 bits: {value:#x}");
+    value << 2
+}
+
+#[inline]
+fn decode(word: u64) -> u64 {
+    debug_assert_eq!(word & TAG_MASK, TAG_VALUE);
+    word >> 2
+}
+
+/// One sorted entry of an in-flight MCAS. `old`/`new` are *encoded* words.
+struct Entry {
+    cell: *const AtomicU64,
+    old: u64,
+    new: u64,
+}
+
+/// A published multi-word CAS operation.
+struct McasDescriptor {
+    status: AtomicU64,
+    entries: Vec<Entry>,
+}
+
+// Safety: descriptors are shared across helping threads and retired on a
+// possibly different thread; all mutation goes through atomics.
+unsafe impl Send for McasDescriptor {}
+unsafe impl Sync for McasDescriptor {}
+
+/// A restricted double-compare single-swap: swaps `data` from `old` to the
+/// MCAS descriptor word iff the owning operation is still `Undecided`.
+struct RdcssDescriptor {
+    /// Points at the owning MCAS descriptor's status word.
+    status_location: *const AtomicU64,
+    data: *const AtomicU64,
+    /// Encoded expected value of `data`.
+    old: u64,
+    /// Tagged MCAS descriptor word to install on success.
+    mcas_word: u64,
+}
+
+unsafe impl Send for RdcssDescriptor {}
+unsafe impl Sync for RdcssDescriptor {}
+
+#[inline]
+unsafe fn mcas_desc<'a>(word: u64) -> &'a McasDescriptor {
+    debug_assert_eq!(word & TAG_MASK, TAG_MCAS);
+    // Safety: callers obtained `word` from a cell while pinned; the
+    // descriptor's installer stays pinned while it is reachable.
+    unsafe { &*((word & !TAG_MASK) as *const McasDescriptor) }
+}
+
+#[inline]
+unsafe fn rdcss_desc<'a>(word: u64) -> &'a RdcssDescriptor {
+    debug_assert_eq!(word & TAG_MASK, TAG_RDCSS);
+    // Safety: as for `mcas_desc`.
+    unsafe { &*((word & !TAG_MASK) as *const RdcssDescriptor) }
+}
+
+/// Finishes an RDCSS whose descriptor word was found in a cell: installs
+/// the MCAS word if the operation is still undecided, else rolls back.
+fn rdcss_complete(desc: &RdcssDescriptor, tagged: u64) {
+    // Safety: `status_location` points into the owning MCAS descriptor,
+    // which is alive for the same reason `desc` is.
+    let status = unsafe { &*desc.status_location }.load(Ordering::SeqCst);
+    let replacement = if status == UNDECIDED {
+        desc.mcas_word
+    } else {
+        desc.old
+    };
+    // Safety: `data` is a cell inside an allocation that cannot be
+    // physically freed while any emulated operation is pinned.
+    let _ = unsafe { &*desc.data }.compare_exchange(
+        tagged,
+        replacement,
+        Ordering::SeqCst,
+        Ordering::SeqCst,
+    );
+}
+
+/// Performs one RDCSS for a phase-1 entry of `mcas_word`'s operation.
+///
+/// Returns the (tagged or encoded) word that decided the outcome:
+/// `entry.old` means the swap logically happened; anything else is the
+/// conflicting content observed.
+fn rdcss(
+    guard: &lfrc_reclaim::epoch::Guard<'_>,
+    status_location: *const AtomicU64,
+    entry: &Entry,
+    mcas_word: u64,
+) -> u64 {
+    // Fast path: peek before allocating a descriptor.
+    // Safety: cell alive while pinned (see module docs).
+    let cell = unsafe { &*entry.cell };
+    let peek = cell.load(Ordering::SeqCst);
+    if peek & TAG_MASK == TAG_VALUE && peek != entry.old {
+        return peek;
+    }
+
+    let desc = Box::into_raw(Box::new(RdcssDescriptor {
+        status_location,
+        data: entry.cell,
+        old: entry.old,
+        mcas_word,
+    }));
+    // Safety: freshly allocated; shared only via the tagged word below.
+    let tagged = desc as u64 | TAG_RDCSS;
+    let result = loop {
+        match cell.compare_exchange(entry.old, tagged, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                // Installed: now complete (install MCAS word or roll back).
+                rdcss_complete(unsafe { &*desc }, tagged);
+                break entry.old;
+            }
+            Err(cur) if cur & TAG_MASK == TAG_RDCSS => {
+                // Help the other RDCSS out of the way and retry.
+                rdcss_complete(unsafe { rdcss_desc(cur) }, cur);
+            }
+            Err(cur) => break cur,
+        }
+    };
+    // The descriptor is no longer installed anywhere (and only this thread
+    // could install it), so it can be retired.
+    // Safety: retired exactly once; unreachable to threads pinning later.
+    unsafe { guard.defer_destroy(desc) };
+    result
+}
+
+/// Runs (or helps) the MCAS published as `tagged` to completion.
+/// Returns whether the operation succeeded.
+fn mcas_help(guard: &lfrc_reclaim::epoch::Guard<'_>, tagged: u64) -> bool {
+    // Safety: see `mcas_desc`.
+    let desc = unsafe { mcas_desc(tagged) };
+    if desc.status.load(Ordering::SeqCst) == UNDECIDED {
+        let mut outcome = SUCCEEDED;
+        'phase1: for entry in &desc.entries {
+            loop {
+                let seen = rdcss(guard, &desc.status, entry, tagged);
+                if seen == entry.old || seen == tagged {
+                    // Installed (by us or a fellow helper): next entry.
+                    break;
+                }
+                if seen & TAG_MASK == TAG_MCAS {
+                    // A different operation owns this cell: help it first.
+                    mcas_help(guard, seen);
+                    continue;
+                }
+                // Genuine value mismatch: the whole operation fails.
+                outcome = FAILED;
+                break 'phase1;
+            }
+        }
+        let _ = desc
+            .status
+            .compare_exchange(UNDECIDED, outcome, Ordering::SeqCst, Ordering::SeqCst);
+    }
+    // Phase 2: unlink the descriptor from every cell.
+    let succeeded = desc.status.load(Ordering::SeqCst) == SUCCEEDED;
+    for entry in &desc.entries {
+        let replacement = if succeeded { entry.new } else { entry.old };
+        // Safety: cell alive while pinned.
+        let _ = unsafe { &*entry.cell }.compare_exchange(
+            tagged,
+            replacement,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+    succeeded
+}
+
+/// Resolves a cell to a plain (encoded) value, helping any in-flight
+/// operation it encounters.
+fn word_read(guard: &lfrc_reclaim::epoch::Guard<'_>, word: &AtomicU64) -> u64 {
+    loop {
+        let w = word.load(Ordering::SeqCst);
+        match w & TAG_MASK {
+            TAG_VALUE => return w,
+            TAG_RDCSS => rdcss_complete(unsafe { rdcss_desc(w) }, w),
+            TAG_MCAS => {
+                mcas_help(guard, w);
+            }
+            _ => unreachable!("corrupt cell tag"),
+        }
+    }
+}
+
+/// A DCAS-capable cell backed by the lock-free descriptor MCAS.
+///
+/// This is the strategy used by all LFRC structures unless a benchmark
+/// explicitly selects [`crate::LockWord`] for ablation.
+pub struct McasWord {
+    word: AtomicU64,
+}
+
+impl fmt::Debug for McasWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("McasWord").field("value", &self.load()).finish()
+    }
+}
+
+impl DcasWord for McasWord {
+    fn new(value: u64) -> Self {
+        McasWord {
+            word: AtomicU64::new(encode(value)),
+        }
+    }
+
+    fn load(&self) -> u64 {
+        with_guard(|guard| decode(word_read(guard, &self.word)))
+    }
+
+    fn store(&self, value: u64) {
+        let new = encode(value);
+        with_guard(|guard| loop {
+            let cur = word_read(guard, &self.word);
+            if self
+                .word
+                .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        })
+    }
+
+    fn compare_and_swap(&self, old: u64, new: u64) -> bool {
+        let old = encode(old);
+        let new = encode(new);
+        with_guard(|guard| loop {
+            let cur = word_read(guard, &self.word);
+            if cur != old {
+                return false;
+            }
+            if self
+                .word
+                .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        })
+    }
+
+    fn mcas(ops: &[McasOp<'_, Self>]) -> bool {
+        let mut entries: Vec<Entry> = ops
+            .iter()
+            .map(|op| Entry {
+                cell: &op.cell.word as *const AtomicU64,
+                old: encode(op.old),
+                new: encode(op.new),
+            })
+            .collect();
+        // A global installation order prevents livelock between
+        // overlapping operations (Harris et al. §4).
+        entries.sort_by_key(|e| e.cell as usize);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].cell != w[1].cell),
+            "mcas entries must target distinct cells"
+        );
+        with_guard(|guard| {
+            let desc = Box::into_raw(Box::new(McasDescriptor {
+                status: AtomicU64::new(UNDECIDED),
+                entries,
+            }));
+            let tagged = desc as u64 | TAG_MCAS;
+            let ok = mcas_help(guard, tagged);
+            // By the time the owning help call returns, every helper that
+            // could re-install the descriptor is itself still pinned, so
+            // epoch retirement is safe (DESIGN.md §5.2).
+            // Safety: retired exactly once, by the owner.
+            unsafe { guard.defer_destroy(desc) };
+            ok
+        })
+    }
+
+    fn strategy_name() -> &'static str {
+        "mcas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for v in [0u64, 1, 42, MAX_PAYLOAD] {
+            assert_eq!(decode(encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn mcas_three_way_rotate() {
+        let cells: Vec<McasWord> = (0..3).map(|i| McasWord::new(i)).collect();
+        let ok = McasWord::mcas(&[
+            McasOp { cell: &cells[0], old: 0, new: 1 },
+            McasOp { cell: &cells[1], old: 1, new: 2 },
+            McasOp { cell: &cells[2], old: 2, new: 0 },
+        ]);
+        assert!(ok);
+        assert_eq!(cells[0].load(), 1);
+        assert_eq!(cells[1].load(), 2);
+        assert_eq!(cells[2].load(), 0);
+    }
+
+    #[test]
+    fn mcas_all_or_nothing() {
+        let cells: Vec<McasWord> = (0..4).map(|_| McasWord::new(5)).collect();
+        let ok = McasWord::mcas(&[
+            McasOp { cell: &cells[0], old: 5, new: 6 },
+            McasOp { cell: &cells[1], old: 5, new: 6 },
+            McasOp { cell: &cells[2], old: 999, new: 6 }, // mismatch
+            McasOp { cell: &cells[3], old: 5, new: 6 },
+        ]);
+        assert!(!ok);
+        for c in &cells {
+            assert_eq!(c.load(), 5, "failed MCAS must leave every cell untouched");
+        }
+    }
+
+    #[test]
+    fn identity_dcas_validates_snapshot() {
+        // The no-op DCAS (new == old) is used by tests as an atomic
+        // two-cell snapshot validator; it must succeed and leave values.
+        let a = McasWord::new(7);
+        let b = McasWord::new(8);
+        assert!(McasWord::dcas(&a, &b, 7, 8, 7, 8));
+        assert_eq!(a.load(), 7);
+        assert_eq!(b.load(), 8);
+    }
+
+    #[test]
+    fn unique_winner_under_contention() {
+        const THREADS: usize = 8;
+        let a = McasWord::new(0);
+        let b = McasWord::new(0);
+        let barrier = Barrier::new(THREADS);
+        let mut wins = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let (a, b, barrier) = (&a, &b, &barrier);
+                handles.push(s.spawn(move || {
+                    barrier.wait();
+                    McasWord::dcas(a, b, 0, 0, t as u64 + 1, t as u64 + 1)
+                }));
+            }
+            for h in handles {
+                wins.push(h.join().unwrap());
+            }
+        });
+        assert_eq!(wins.iter().filter(|w| **w).count(), 1);
+        let winner = a.load();
+        assert_eq!(b.load(), winner);
+        assert!((1..=THREADS as u64).contains(&winner));
+    }
+
+    #[test]
+    fn bank_transfer_conserves_sum() {
+        // Two accounts, concurrent transfers via DCAS, concurrent readers
+        // validating snapshots with identity-DCAS: the observed sum must
+        // always be exactly the initial total.
+        const TOTAL: u64 = 1_000;
+        const TRANSFERS: usize = 3_000;
+        const MOVERS: usize = 4;
+        const READERS: usize = 3;
+        let a = McasWord::new(TOTAL);
+        let b = McasWord::new(0);
+        let barrier = Barrier::new(MOVERS + READERS);
+        let done = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..MOVERS {
+                let (a, b, barrier) = (&a, &b, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut moved = 0;
+                    let mut x = 1 + t as u64;
+                    while moved < TRANSFERS {
+                        let va = a.load();
+                        let vb = b.load();
+                        let amt = x % 7;
+                        // Transfer in whichever direction has the funds,
+                        // so no mover can starve on a drained account.
+                        let (na, nb) = if va >= amt {
+                            (va - amt, vb + amt)
+                        } else {
+                            (va + amt, vb - amt.min(vb))
+                        };
+                        if na + nb != TOTAL {
+                            // b also short (transient torn reads): retry.
+                            continue;
+                        }
+                        if McasWord::dcas(a, b, va, vb, na, nb) {
+                            moved += 1;
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1) >> 33;
+                        }
+                    }
+                });
+            }
+            let movers_done = &done;
+            for _ in 0..READERS {
+                let (a, b, barrier, done) = (&a, &b, &barrier, movers_done);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut validated = 0u64;
+                    while done.load(Ordering::Relaxed) == 0 || validated == 0 {
+                        let va = a.load();
+                        let vb = b.load();
+                        // Identity DCAS: succeeds iff (va, vb) was an
+                        // atomic snapshot.
+                        if McasWord::dcas(a, b, va, vb, va, vb) {
+                            assert_eq!(va + vb, TOTAL, "torn snapshot observed");
+                            validated += 1;
+                        }
+                    }
+                    assert!(validated > 0);
+                });
+            }
+            // Scope: wait for movers by joining implicitly at scope end is
+            // not possible before flagging, so flag from a watcher thread.
+            s.spawn(|| {
+                // The mover threads finish on their own; this watcher just
+                // flips the flag once the sum is fully in motion. Sleep-free:
+                // spin until both cells have been touched, then flag.
+                while a.load() == TOTAL && b.load() == 0 {
+                    std::thread::yield_now();
+                }
+                done.store(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(a.load() + b.load(), TOTAL);
+    }
+
+    #[test]
+    fn overlapping_mcas_stress() {
+        // Many threads rotate values around overlapping triples of cells;
+        // the multiset of values must be preserved.
+        const CELLS: usize = 8;
+        const THREADS: usize = 6;
+        const OPS: usize = 500;
+        let cells: Vec<McasWord> = (0..CELLS as u64).map(McasWord::new).collect();
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let (cells, barrier) = (&cells, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut rng = 0x9e3779b97f4a7c15u64.wrapping_mul(t as u64 + 1) | 1;
+                    let mut next = || {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        rng
+                    };
+                    let mut done = 0;
+                    while done < OPS {
+                        let i = (next() % CELLS as u64) as usize;
+                        let j = (next() % CELLS as u64) as usize;
+                        let k = (next() % CELLS as u64) as usize;
+                        if i == j || j == k || i == k {
+                            continue;
+                        }
+                        let (vi, vj, vk) = (cells[i].load(), cells[j].load(), cells[k].load());
+                        if McasWord::mcas(&[
+                            McasOp { cell: &cells[i], old: vi, new: vk },
+                            McasOp { cell: &cells[j], old: vj, new: vi },
+                            McasOp { cell: &cells[k], old: vk, new: vj },
+                        ]) {
+                            done += 1;
+                        }
+                    }
+                });
+            }
+        });
+        let mut values: Vec<u64> = cells.iter().map(|c| c.load()).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..CELLS as u64).collect::<Vec<_>>());
+        crate::quiesce();
+    }
+
+    #[test]
+    fn fetch_add_is_atomic() {
+        const THREADS: usize = 8;
+        const PER: usize = 1_000;
+        let c = McasWord::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        c.fetch_add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.load(), (THREADS * PER) as u64);
+    }
+
+    #[test]
+    fn fetch_add_negative() {
+        let c = McasWord::new(10);
+        assert_eq!(c.fetch_add(-3), 10);
+        assert_eq!(c.load(), 7);
+    }
+}

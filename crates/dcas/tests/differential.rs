@@ -1,0 +1,211 @@
+//! Differential testing of the DCAS strategies.
+//!
+//! Sequentially, both strategies must agree exactly with a trivial
+//! `Vec<u64>` model on arbitrary operation sequences (return values and
+//! final memory). Concurrently, invariant-based stress (sum conservation
+//! under mixed single- and multi-word updates) cross-checks the lock-free
+//! strategy against the blocking oracle.
+
+use proptest::prelude::*;
+
+use lfrc_dcas::{DcasWord, LockWord, McasOp, McasWord};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Load(usize),
+    Store(usize, u64),
+    Cas(usize, u64, u64),
+    FetchAdd(usize, i32),
+    Dcas(usize, usize, u64, u64, u64, u64),
+    Mcas3(usize, usize, usize, u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let small = 0u64..8;
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..6).prop_map(Op::Load),
+            (0usize..6, small.clone()).prop_map(|(i, v)| Op::Store(i, v)),
+            (0usize..6, small.clone(), small.clone()).prop_map(|(i, o, n)| Op::Cas(i, o, n)),
+            (0usize..6, -3i32..4).prop_map(|(i, d)| Op::FetchAdd(i, d)),
+            (0usize..6, 0usize..6, small.clone(), small.clone(), small.clone(), small.clone())
+                .prop_map(|(i, j, oi, oj, ni, nj)| Op::Dcas(i, j, oi, oj, ni, nj)),
+            (0usize..6, 0usize..6, 0usize..6, small).prop_map(|(i, j, k, v)| Op::Mcas3(i, j, k, v)),
+        ],
+        0..120,
+    )
+}
+
+/// Applies one op to the real cells, returning an observation word.
+fn apply<W: DcasWord>(cells: &[W], op: &Op) -> u64 {
+    match *op {
+        Op::Load(i) => cells[i].load(),
+        Op::Store(i, v) => {
+            cells[i].store(v);
+            u64::MAX
+        }
+        Op::Cas(i, o, n) => cells[i].compare_and_swap(o, n) as u64,
+        Op::FetchAdd(i, d) => cells[i].fetch_add(d as i64),
+        Op::Dcas(i, j, oi, oj, ni, nj) => {
+            if i == j {
+                return u64::MAX; // distinct-cell precondition
+            }
+            W::dcas(&cells[i], &cells[j], oi, oj, ni, nj) as u64
+        }
+        Op::Mcas3(i, j, k, v) => {
+            if i == j || j == k || i == k {
+                return u64::MAX;
+            }
+            let (ci, cj, ck) = (cells[i].load(), cells[j].load(), cells[k].load());
+            W::mcas(&[
+                McasOp { cell: &cells[i], old: ci, new: v },
+                McasOp { cell: &cells[j], old: cj, new: ci },
+                McasOp { cell: &cells[k], old: ck, new: cj },
+            ]) as u64
+        }
+    }
+}
+
+/// Applies one op to the model.
+fn apply_model(mem: &mut [u64], op: &Op) -> u64 {
+    match *op {
+        Op::Load(i) => mem[i],
+        Op::Store(i, v) => {
+            mem[i] = v;
+            u64::MAX
+        }
+        Op::Cas(i, o, n) => {
+            if mem[i] == o {
+                mem[i] = n;
+                1
+            } else {
+                0
+            }
+        }
+        Op::FetchAdd(i, d) => {
+            let prev = mem[i];
+            mem[i] = (prev as i64).wrapping_add(d as i64) as u64;
+            prev
+        }
+        Op::Dcas(i, j, oi, oj, ni, nj) => {
+            if i == j {
+                return u64::MAX;
+            }
+            if mem[i] == oi && mem[j] == oj {
+                mem[i] = ni;
+                mem[j] = nj;
+                1
+            } else {
+                0
+            }
+        }
+        Op::Mcas3(i, j, k, v) => {
+            if i == j || j == k || i == k {
+                return u64::MAX;
+            }
+            // Sequentially the reloads always match, so it's a rotate.
+            let (ci, cj) = (mem[i], mem[j]);
+            mem[k] = cj;
+            mem[j] = ci;
+            mem[i] = v;
+            1
+        }
+    }
+}
+
+/// Ops whose model result would leave the 62-bit payload contract are
+/// skipped (cells document payload <= MAX_PAYLOAD; LFRC counts never
+/// underflow, so the contract is never hit in real use).
+fn in_contract(mem: &[u64], op: &Op) -> bool {
+    match *op {
+        Op::FetchAdd(i, d) => (mem[i] as i64).wrapping_add(d as i64) >= 0,
+        _ => true,
+    }
+}
+
+fn check_strategy<W: DcasWord>(ops: &[Op]) {
+    let cells: Vec<W> = (0..6).map(|_| W::new(0)).collect();
+    let mut model = [0u64; 6];
+    for (n, op) in ops.iter().enumerate() {
+        if !in_contract(&model, op) {
+            continue;
+        }
+        let got = apply(&cells, op);
+        let want = apply_model(&mut model, op);
+        assert_eq!(got, want, "{}: op {n} {op:?} diverged", W::strategy_name());
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(
+                cell.load(),
+                model[i],
+                "{}: memory diverged at cell {i} after op {n} {op:?}",
+                W::strategy_name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mcas_strategy_matches_model(ops in ops()) {
+        check_strategy::<McasWord>(&ops);
+    }
+
+    #[test]
+    fn lock_strategy_matches_model(ops in ops()) {
+        check_strategy::<LockWord>(&ops);
+    }
+}
+
+/// Concurrent cross-check: N threads apply conservation-preserving
+/// updates (pairwise transfers and 3-cell rotations); the final sum must
+/// be intact under either strategy.
+fn conservation_stress<W: DcasWord>() {
+    use std::sync::Barrier;
+    const CELLS: usize = 6;
+    const THREADS: usize = 4;
+    const OPS: usize = 800;
+    let cells: Vec<W> = (0..CELLS).map(|i| W::new(100 + i as u64)).collect();
+    let expected: u64 = cells.iter().map(|c| c.load()).sum();
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (cells, barrier) = (&cells, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                let mut x = (t as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15) | 1;
+                let mut done = 0;
+                while done < OPS {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let i = (x % CELLS as u64) as usize;
+                    let j = ((x >> 8) % CELLS as u64) as usize;
+                    if i == j {
+                        continue;
+                    }
+                    let (vi, vj) = (cells[i].load(), cells[j].load());
+                    let amt = x % 5;
+                    if vi >= amt
+                        && W::dcas(&cells[i], &cells[j], vi, vj, vi - amt, vj + amt)
+                    {
+                        done += 1;
+                    }
+                }
+            });
+        }
+    });
+    let total: u64 = cells.iter().map(|c| c.load()).sum();
+    assert_eq!(total, expected, "{} lost or minted value", W::strategy_name());
+}
+
+#[test]
+fn mcas_conserves_concurrently() {
+    conservation_stress::<McasWord>();
+}
+
+#[test]
+fn lock_conserves_concurrently() {
+    conservation_stress::<LockWord>();
+}

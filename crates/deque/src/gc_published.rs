@@ -1,0 +1,361 @@
+//! GC-dependent Snark — the original algorithm (left column of the
+//! paper's Figure 1), running in a "garbage-collected" environment.
+//!
+//! This is the *input* of the LFRC transformation: the implementation
+//! does no memory management whatsoever. Nodes come from a
+//! [`LeakArena`] — the "GC that never runs" —
+//! which supplies the two guarantees the paper says GC provides for free
+//! (§1): nodes are never reclaimed under a running operation, and node
+//! addresses never recur, so the ABA problem cannot arise.
+//!
+//! Faithful details of the original (vs. the LFRC variant):
+//!
+//! * sentinels are marked with **self-pointers**, not nulls (paper
+//!   lines 6–7: `Dummy->L = Dummy; Dummy->R = Dummy`) — the very pointers
+//!   step 3 of the methodology had to remove because they make garbage
+//!   cyclic;
+//! * no reference counts, no destroy calls, no local-variable discipline.
+//!
+//! All node accesses go through the same [`DcasWord`] cells as the LFRC
+//! variants, so throughput comparisons (experiment E2) isolate exactly
+//! the cost of the methodology, not of the substrate.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use lfrc_dcas::DcasWord;
+use lfrc_reclaim::LeakArena;
+
+use crate::pause::{NoPause, PausePolicy, PauseSite};
+use crate::{check_value, ConcurrentDeque};
+
+/// The original `SNode` (paper lines 1–2): left/right links and a value.
+pub(crate) struct GcNode<W: DcasWord> {
+    pub(crate) l: W,
+    pub(crate) r: W,
+    pub(crate) v: W,
+}
+
+// Safety: all fields are atomic cells.
+unsafe impl<W: DcasWord> Send for GcNode<W> {}
+unsafe impl<W: DcasWord> Sync for GcNode<W> {}
+
+pub(crate) type NodePtr<W> = *mut GcNode<W>;
+
+#[inline]
+pub(crate) fn to_word<W: DcasWord>(p: NodePtr<W>) -> u64 {
+    p as usize as u64
+}
+
+#[inline]
+pub(crate) fn from_word<W: DcasWord>(w: u64) -> NodePtr<W> {
+    w as usize as *mut GcNode<W>
+}
+
+/// The GC-dependent Snark deque (published pops).
+///
+/// # Example
+///
+/// ```
+/// use lfrc_deque::{ConcurrentDeque, GcSnark};
+/// use lfrc_core::McasWord;
+///
+/// let d: GcSnark<McasWord> = GcSnark::new();
+/// d.push_right(1);
+/// d.push_right(2);
+/// assert_eq!(d.pop_left(), Some(1));
+/// assert_eq!(d.pop_left(), Some(2));
+/// assert_eq!(d.pop_left(), None);
+/// ```
+pub struct GcSnark<W: DcasWord, P: PausePolicy = NoPause> {
+    pub(crate) arena: Arc<LeakArena>,
+    pub(crate) left_hat: W,
+    pub(crate) right_hat: W,
+    pub(crate) dummy: NodePtr<W>,
+    pub(crate) _pause: PhantomData<P>,
+}
+
+// Safety: hats are atomic cells; nodes live in the arena for the deque's
+// lifetime and are themselves Sync.
+unsafe impl<W: DcasWord, P: PausePolicy> Send for GcSnark<W, P> {}
+unsafe impl<W: DcasWord, P: PausePolicy> Sync for GcSnark<W, P> {}
+
+impl<W: DcasWord, P: PausePolicy> fmt::Debug for GcSnark<W, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GcSnark")
+            .field("arena_live", &self.arena.live())
+            .finish()
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> Default for GcSnark<W, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> GcSnark<W, P> {
+    /// Creates an empty deque (paper lines 4–9: allocate `Dummy` with
+    /// self-pointers, aim both hats at it).
+    pub fn new() -> Self {
+        let arena = Arc::new(LeakArena::new());
+        let dummy = arena.alloc(GcNode {
+            l: W::new(0),
+            r: W::new(0),
+            v: W::new(0),
+        });
+        // Lines 6–7: Dummy->L = Dummy; Dummy->R = Dummy (self-pointers).
+        // Safety: just allocated; arena keeps it alive.
+        unsafe {
+            (*dummy).l.store(to_word(dummy));
+            (*dummy).r.store(to_word(dummy));
+        }
+        GcSnark {
+            arena,
+            left_hat: W::new(to_word(dummy)),
+            right_hat: W::new(to_word(dummy)),
+            dummy,
+            _pause: PhantomData,
+        }
+    }
+
+    /// Number of nodes the arena currently holds (monotonic — this is the
+    /// "GC never ran" footprint measured in experiment E3).
+    pub fn arena_live(&self) -> u64 {
+        self.arena.live()
+    }
+
+    pub(crate) fn alloc(&self, value: u64) -> NodePtr<W> {
+        self.arena.alloc(GcNode {
+            l: W::new(0),
+            r: W::new(0),
+            v: W::new(value),
+        })
+    }
+
+    /// Dereferences a node pointer read from a cell.
+    ///
+    /// Safety argument: every node is arena-backed and the arena lives as
+    /// long as `&self`, so any pointer ever stored in a cell stays valid —
+    /// the "GC environment" contract.
+    pub(crate) fn node(&self, p: NodePtr<W>) -> &GcNode<W> {
+        debug_assert!(!p.is_null());
+        unsafe { &*p }
+    }
+
+    /// `pushRight` (paper lines 14–30).
+    pub fn push_right_impl(&self, value: u64) {
+        check_value(value);
+        let nd = self.alloc(value); // line 14
+        self.node(nd).r.store(to_word(self.dummy)); // line 18
+        loop {
+            let rh = from_word::<W>(self.right_hat.load()); // line 21
+            let rh_r = from_word::<W>(self.node(rh).r.load()); // line 22
+            if rh_r == rh {
+                // Lines 23–27: right end is a sentinel (self-pointer).
+                self.node(nd).l.store(to_word(self.dummy)); // line 24
+                let lh = self.left_hat.load(); // line 25
+                P::pause(PauseSite::PushBeforeDcas);
+                if W::dcas(
+                    &self.right_hat,
+                    &self.left_hat,
+                    to_word(rh),
+                    lh,
+                    to_word(nd),
+                    to_word(nd),
+                ) {
+                    return; // line 27
+                }
+            } else {
+                // Lines 28–30.
+                self.node(nd).l.store(to_word(rh));
+                P::pause(PauseSite::PushBeforeDcas);
+                if W::dcas(
+                    &self.right_hat,
+                    &self.node(rh).r,
+                    to_word(rh),
+                    to_word(rh_r),
+                    to_word(nd),
+                    to_word(nd),
+                ) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// `pushLeft` (mirror).
+    pub fn push_left_impl(&self, value: u64) {
+        check_value(value);
+        let nd = self.alloc(value);
+        self.node(nd).l.store(to_word(self.dummy));
+        loop {
+            let lh = from_word::<W>(self.left_hat.load());
+            let lh_l = from_word::<W>(self.node(lh).l.load());
+            if lh_l == lh {
+                self.node(nd).r.store(to_word(self.dummy));
+                let rh = self.right_hat.load();
+                P::pause(PauseSite::PushBeforeDcas);
+                if W::dcas(
+                    &self.left_hat,
+                    &self.right_hat,
+                    to_word(lh),
+                    rh,
+                    to_word(nd),
+                    to_word(nd),
+                ) {
+                    return;
+                }
+            } else {
+                self.node(nd).r.store(to_word(lh));
+                P::pause(PauseSite::PushBeforeDcas);
+                if W::dcas(
+                    &self.left_hat,
+                    &self.node(lh).l,
+                    to_word(lh),
+                    to_word(lh_l),
+                    to_word(nd),
+                    to_word(nd),
+                ) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// `popRight` (published — carries the Doherty defect; see crate docs).
+    pub fn pop_right_impl(&self) -> Option<u64> {
+        loop {
+            let rh = from_word::<W>(self.right_hat.load());
+            let lh = from_word::<W>(self.left_hat.load());
+            P::pause(PauseSite::PopAfterReadHats);
+            // Original sentinel check: `if (rh->R == rh) return EMPTY`.
+            if from_word::<W>(self.node(rh).r.load()) == rh {
+                return None;
+            }
+            if rh == lh {
+                P::pause(PauseSite::PopBeforeDcas);
+                if W::dcas(
+                    &self.right_hat,
+                    &self.left_hat,
+                    to_word(rh),
+                    to_word(lh),
+                    to_word(self.dummy),
+                    to_word(self.dummy),
+                ) {
+                    return Some(self.node(rh).v.load());
+                }
+            } else {
+                let rh_l = self.node(rh).l.load();
+                P::pause(PauseSite::PopBeforeDcas);
+                // Move RightHat left while self-marking rh->L.
+                if W::dcas(
+                    &self.right_hat,
+                    &self.node(rh).l,
+                    to_word(rh),
+                    rh_l,
+                    rh_l,
+                    to_word(rh),
+                ) {
+                    let v = self.node(rh).v.load();
+                    // Original cleanup: rh->R = Dummy (helps the GC).
+                    self.node(rh).r.store(to_word(self.dummy));
+                    return Some(v);
+                }
+            }
+        }
+    }
+
+    /// `popLeft` (mirror).
+    pub fn pop_left_impl(&self) -> Option<u64> {
+        loop {
+            let lh = from_word::<W>(self.left_hat.load());
+            let rh = from_word::<W>(self.right_hat.load());
+            P::pause(PauseSite::PopAfterReadHats);
+            if from_word::<W>(self.node(lh).l.load()) == lh {
+                return None;
+            }
+            if lh == rh {
+                P::pause(PauseSite::PopBeforeDcas);
+                if W::dcas(
+                    &self.left_hat,
+                    &self.right_hat,
+                    to_word(lh),
+                    to_word(rh),
+                    to_word(self.dummy),
+                    to_word(self.dummy),
+                ) {
+                    return Some(self.node(lh).v.load());
+                }
+            } else {
+                let lh_r = self.node(lh).r.load();
+                P::pause(PauseSite::PopBeforeDcas);
+                if W::dcas(
+                    &self.left_hat,
+                    &self.node(lh).r,
+                    to_word(lh),
+                    lh_r,
+                    lh_r,
+                    to_word(lh),
+                ) {
+                    let v = self.node(lh).v.load();
+                    self.node(lh).l.store(to_word(self.dummy));
+                    return Some(v);
+                }
+            }
+        }
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> ConcurrentDeque for GcSnark<W, P> {
+    fn push_left(&self, value: u64) {
+        self.push_left_impl(value)
+    }
+
+    fn push_right(&self, value: u64) {
+        self.push_right_impl(value)
+    }
+
+    fn pop_left(&self) -> Option<u64> {
+        self.pop_left_impl()
+    }
+
+    fn pop_right(&self) -> Option<u64> {
+        self.pop_right_impl()
+    }
+
+    fn impl_name(&self) -> String {
+        format!("snark-gc-leak/{}", W::strategy_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrc_core::McasWord;
+
+    #[test]
+    fn sequential_semantics() {
+        let d: GcSnark<McasWord> = GcSnark::new();
+        crate::exercise::sequential(&d);
+    }
+
+    #[test]
+    fn arena_only_grows() {
+        let d: GcSnark<McasWord> = GcSnark::new();
+        for v in 0..50 {
+            d.push_right(v);
+        }
+        while d.pop_left().is_some() {}
+        // 1 dummy + 50 nodes, none ever freed: the footprint the paper's
+        // methodology exists to avoid.
+        assert_eq!(d.arena_live(), 51);
+    }
+
+    #[test]
+    fn concurrent_conservation_modest() {
+        let d: GcSnark<McasWord> = GcSnark::new();
+        crate::exercise::conservation(&d, 4, 2_000);
+    }
+}

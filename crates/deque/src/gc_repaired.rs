@@ -1,0 +1,203 @@
+//! GC-dependent Snark with value-claiming pops.
+//!
+//! Same repair as [`LfrcSnarkRepaired`](crate::LfrcSnarkRepaired), applied
+//! to the GC-dependent original: after winning its structural DCAS, a pop
+//! CASes the node's value cell from the observed value to
+//! [`CLAIMED`], so the Doherty double-pop cannot return a
+//! value twice. This variant exists so that the E2 throughput comparison
+//! can pit *algorithmically identical* GC-dependent and LFRC deques
+//! against each other under heavy dual-end stress.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use lfrc_dcas::DcasWord;
+
+use crate::gc_published::{from_word, to_word, GcSnark};
+use crate::pause::{NoPause, PausePolicy, PauseSite};
+use crate::{ConcurrentDeque, CLAIMED};
+
+/// The GC-dependent Snark deque with value-claiming pops.
+///
+/// # Example
+///
+/// ```
+/// use lfrc_deque::{ConcurrentDeque, GcSnarkRepaired};
+/// use lfrc_core::McasWord;
+///
+/// let d: GcSnarkRepaired<McasWord> = GcSnarkRepaired::new();
+/// d.push_left(5);
+/// assert_eq!(d.pop_right(), Some(5));
+/// assert_eq!(d.pop_left(), None);
+/// ```
+pub struct GcSnarkRepaired<W: DcasWord, P: PausePolicy = NoPause> {
+    inner: GcSnark<W, P>,
+    _pause: PhantomData<P>,
+}
+
+impl<W: DcasWord, P: PausePolicy> fmt::Debug for GcSnarkRepaired<W, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GcSnarkRepaired")
+            .field("arena_live", &self.inner.arena_live())
+            .finish()
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> Default for GcSnarkRepaired<W, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> GcSnarkRepaired<W, P> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        GcSnarkRepaired {
+            inner: GcSnark::new(),
+            _pause: PhantomData,
+        }
+    }
+
+    /// Number of nodes the arena currently holds (monotonic).
+    pub fn arena_live(&self) -> u64 {
+        self.inner.arena_live()
+    }
+
+    /// Attempts to claim the value of the node at `p`.
+    fn claim(&self, p: crate::gc_published::NodePtr<W>) -> Option<u64> {
+        let node = self.inner.node(p);
+        let v = node.v.load();
+        P::pause(PauseSite::PopBeforeClaim);
+        if v != CLAIMED && node.v.compare_and_swap(v, CLAIMED) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// `popRight` with value claiming.
+    pub fn pop_right_impl(&self) -> Option<u64> {
+        loop {
+            let rh = from_word::<W>(self.inner.right_hat.load());
+            let lh = from_word::<W>(self.inner.left_hat.load());
+            P::pause(PauseSite::PopAfterReadHats);
+            if from_word::<W>(self.inner.node(rh).r.load()) == rh {
+                return None;
+            }
+            if rh == lh {
+                P::pause(PauseSite::PopBeforeDcas);
+                if W::dcas(
+                    &self.inner.right_hat,
+                    &self.inner.left_hat,
+                    to_word(rh),
+                    to_word(lh),
+                    to_word(self.inner.dummy),
+                    to_word(self.inner.dummy),
+                ) {
+                    if let Some(v) = self.claim(rh) {
+                        return Some(v);
+                    }
+                }
+            } else {
+                let rh_l = self.inner.node(rh).l.load();
+                P::pause(PauseSite::PopBeforeDcas);
+                if W::dcas(
+                    &self.inner.right_hat,
+                    &self.inner.node(rh).l,
+                    to_word(rh),
+                    rh_l,
+                    rh_l,
+                    to_word(rh),
+                ) {
+                    if let Some(v) = self.claim(rh) {
+                        self.inner.node(rh).r.store(to_word(self.inner.dummy));
+                        return Some(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `popLeft` with value claiming.
+    pub fn pop_left_impl(&self) -> Option<u64> {
+        loop {
+            let lh = from_word::<W>(self.inner.left_hat.load());
+            let rh = from_word::<W>(self.inner.right_hat.load());
+            P::pause(PauseSite::PopAfterReadHats);
+            if from_word::<W>(self.inner.node(lh).l.load()) == lh {
+                return None;
+            }
+            if lh == rh {
+                P::pause(PauseSite::PopBeforeDcas);
+                if W::dcas(
+                    &self.inner.left_hat,
+                    &self.inner.right_hat,
+                    to_word(lh),
+                    to_word(rh),
+                    to_word(self.inner.dummy),
+                    to_word(self.inner.dummy),
+                ) {
+                    if let Some(v) = self.claim(lh) {
+                        return Some(v);
+                    }
+                }
+            } else {
+                let lh_r = self.inner.node(lh).r.load();
+                P::pause(PauseSite::PopBeforeDcas);
+                if W::dcas(
+                    &self.inner.left_hat,
+                    &self.inner.node(lh).r,
+                    to_word(lh),
+                    lh_r,
+                    lh_r,
+                    to_word(lh),
+                ) {
+                    if let Some(v) = self.claim(lh) {
+                        self.inner.node(lh).l.store(to_word(self.inner.dummy));
+                        return Some(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> ConcurrentDeque for GcSnarkRepaired<W, P> {
+    fn push_left(&self, value: u64) {
+        self.inner.push_left_impl(value)
+    }
+
+    fn push_right(&self, value: u64) {
+        self.inner.push_right_impl(value)
+    }
+
+    fn pop_left(&self) -> Option<u64> {
+        self.pop_left_impl()
+    }
+
+    fn pop_right(&self) -> Option<u64> {
+        self.pop_right_impl()
+    }
+
+    fn impl_name(&self) -> String {
+        format!("snark-gc-leak-repaired/{}", W::strategy_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrc_core::McasWord;
+
+    #[test]
+    fn sequential_semantics() {
+        let d: GcSnarkRepaired<McasWord> = GcSnarkRepaired::new();
+        crate::exercise::sequential(&d);
+    }
+
+    #[test]
+    fn heavy_dual_end_conservation() {
+        let d: GcSnarkRepaired<McasWord> = GcSnarkRepaired::new();
+        crate::exercise::conservation(&d, 6, 4_000);
+    }
+}

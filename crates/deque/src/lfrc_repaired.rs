@@ -1,0 +1,279 @@
+//! GC-independent Snark with **value-claiming pops** (repaired variant).
+//!
+//! Identical to [`LfrcSnark`] except in the pops: after
+//! winning its structural DCAS, a pop must additionally CAS the node's
+//! value cell from the observed value to [`CLAIMED`].
+//! Exactly one pop can win that claim, so the Doherty double-pop (see the
+//! crate docs) cannot return a value twice; the loser observes `CLAIMED`
+//! and retries its whole operation. The claim CAS uses the same value
+//! cell the push initialized, so no extra fields and no extra DCAS width
+//! are needed.
+//!
+//! The repaired pops exercise the LFRC methodology in an extra way: the
+//! claim is a plain single-word CAS on a cell *inside* an LFRC object,
+//! which is safe precisely because the popping thread holds a counted
+//! local reference (`rh`) to the node — the reference-count invariant is
+//! doing the work the paper promises.
+
+use std::fmt;
+
+
+use lfrc_core::{DcasWord, Heap, Local, PtrField};
+
+use crate::lfrc_published::{LfrcSnark, SNode};
+use crate::pause::{NoPause, PausePolicy, PauseSite};
+use crate::{ConcurrentDeque, CLAIMED};
+
+/// The GC-independent Snark deque with value-claiming pops.
+///
+/// # Example
+///
+/// ```
+/// use lfrc_deque::{ConcurrentDeque, LfrcSnarkRepaired};
+/// use lfrc_core::McasWord;
+///
+/// let d: LfrcSnarkRepaired<McasWord> = LfrcSnarkRepaired::new();
+/// d.push_left(10);
+/// d.push_left(20);
+/// assert_eq!(d.pop_right(), Some(10));
+/// assert_eq!(d.pop_left(), Some(20));
+/// ```
+pub struct LfrcSnarkRepaired<W: DcasWord, P: PausePolicy = NoPause> {
+    inner: LfrcSnark<W, P>,
+}
+
+impl<W: DcasWord, P: PausePolicy> fmt::Debug for LfrcSnarkRepaired<W, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LfrcSnarkRepaired")
+            .field("census", self.inner.heap().census())
+            .finish()
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> Default for LfrcSnarkRepaired<W, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> LfrcSnarkRepaired<W, P> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        LfrcSnarkRepaired {
+            inner: LfrcSnark::new(),
+        }
+    }
+
+    /// The heap (for census inspection in tests and experiments).
+    pub fn heap(&self) -> &Heap<SNode<W>, W> {
+        self.inner.heap()
+    }
+
+    fn dummy(&self) -> Local<SNode<W>, W> {
+        self.inner.dummy.load().expect("dummy is never null while alive")
+    }
+
+    /// Attempts to claim `node`'s value; `None` means another pop got it.
+    fn claim(node: &Local<SNode<W>, W>) -> Option<u64> {
+        let v = node.v.load();
+        P::pause(PauseSite::PopBeforeClaim);
+        if v != CLAIMED && node.v.compare_and_swap(v, CLAIMED) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// `popRight` with value claiming.
+    pub fn pop_right_impl(&self) -> Option<u64> {
+        loop {
+            let rh = self.inner.right_hat.load().expect("hat");
+            let lh = self.inner.left_hat.load().expect("hat");
+            P::pause(PauseSite::PopAfterReadHats);
+            if rh.r.is_null() {
+                return None;
+            }
+            if Local::ptr_eq(&rh, &lh) {
+                let dummy = self.dummy();
+                P::pause(PauseSite::PopBeforeDcas);
+                if PtrField::dcas(
+                    &self.inner.right_hat,
+                    &self.inner.left_hat,
+                    Some(&rh),
+                    Some(&lh),
+                    Some(&dummy),
+                    Some(&dummy),
+                ) {
+                    if let Some(v) = Self::claim(&rh) {
+                        return Some(v);
+                    }
+                    // Lost the claim: the value went to the other end's
+                    // pop; retry from scratch.
+                }
+            } else {
+                let rh_l = rh.l.load();
+                P::pause(PauseSite::PopBeforeDcas);
+                if PtrField::dcas(
+                    &self.inner.right_hat,
+                    &rh.l,
+                    Some(&rh),
+                    rh_l.as_ref(),
+                    rh_l.as_ref(),
+                    None,
+                ) {
+                    if let Some(v) = Self::claim(&rh) {
+                        let dummy = self.dummy();
+                        rh.r.store(Some(&dummy));
+                        return Some(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `popLeft` with value claiming.
+    pub fn pop_left_impl(&self) -> Option<u64> {
+        loop {
+            let lh = self.inner.left_hat.load().expect("hat");
+            let rh = self.inner.right_hat.load().expect("hat");
+            P::pause(PauseSite::PopAfterReadHats);
+            if lh.l.is_null() {
+                return None;
+            }
+            if Local::ptr_eq(&lh, &rh) {
+                let dummy = self.dummy();
+                P::pause(PauseSite::PopBeforeDcas);
+                if PtrField::dcas(
+                    &self.inner.left_hat,
+                    &self.inner.right_hat,
+                    Some(&lh),
+                    Some(&rh),
+                    Some(&dummy),
+                    Some(&dummy),
+                ) {
+                    if let Some(v) = Self::claim(&lh) {
+                        return Some(v);
+                    }
+                }
+            } else {
+                let lh_r = lh.r.load();
+                P::pause(PauseSite::PopBeforeDcas);
+                if PtrField::dcas(
+                    &self.inner.left_hat,
+                    &lh.r,
+                    Some(&lh),
+                    lh_r.as_ref(),
+                    lh_r.as_ref(),
+                    None,
+                ) {
+                    if let Some(v) = Self::claim(&lh) {
+                        let dummy = self.dummy();
+                        lh.l.store(Some(&dummy));
+                        return Some(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> ConcurrentDeque for LfrcSnarkRepaired<W, P> {
+    fn push_left(&self, value: u64) {
+        self.inner.push_left_impl(value)
+    }
+
+    fn push_right(&self, value: u64) {
+        self.inner.push_right_impl(value)
+    }
+
+    fn pop_left(&self) -> Option<u64> {
+        self.pop_left_impl()
+    }
+
+    fn pop_right(&self) -> Option<u64> {
+        self.pop_right_impl()
+    }
+
+    fn impl_name(&self) -> String {
+        format!("snark-lfrc-repaired/{}", W::strategy_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrc_core::McasWord;
+
+    #[test]
+    fn sequential_semantics() {
+        let d: LfrcSnarkRepaired<McasWord> = LfrcSnarkRepaired::new();
+        crate::exercise::sequential(&d);
+    }
+
+    #[test]
+    fn heavy_dual_end_conservation() {
+        let d: LfrcSnarkRepaired<McasWord> = LfrcSnarkRepaired::new();
+        let census = std::sync::Arc::clone(d.heap().census());
+        crate::exercise::conservation(&d, 6, 4_000);
+        drop(d);
+        assert_eq!(census.live(), 0);
+    }
+
+    #[test]
+    fn singleton_pressure_from_both_ends() {
+        // Hammer the exact regime of the Doherty defect: a deque that is
+        // almost always empty or singleton, popped from both ends.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Barrier;
+        const ITEMS: u64 = 20_000;
+        let d: LfrcSnarkRepaired<McasWord> = LfrcSnarkRepaired::new();
+        let popped = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        let barrier = Barrier::new(3);
+        std::thread::scope(|s| {
+            let (dq, b) = (&d, &barrier);
+            s.spawn(move || {
+                b.wait();
+                for v in 1..=ITEMS {
+                    if v % 2 == 0 {
+                        dq.push_left(v);
+                    } else {
+                        dq.push_right(v);
+                    }
+                }
+            });
+            for side in 0..2 {
+                let (dq, b, popped, sum) = (&d, &barrier, &popped, &sum);
+                s.spawn(move || {
+                    b.wait();
+                    let mut idle = 0u32;
+                    while popped.load(Ordering::Relaxed) < ITEMS && idle < 5_000_000 {
+                        let v = if side == 0 { dq.pop_left() } else { dq.pop_right() };
+                        if let Some(v) = v {
+                            popped.fetch_add(1, Ordering::Relaxed);
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            idle = 0;
+                        } else {
+                            idle += 1;
+                        }
+                    }
+                });
+            }
+        });
+        while let Some(v) = d.pop_left() {
+            popped.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(v, Ordering::Relaxed);
+        }
+        assert_eq!(popped.load(Ordering::Relaxed), ITEMS, "lost or duplicated items");
+        assert_eq!(sum.load(Ordering::Relaxed), ITEMS * (ITEMS + 1) / 2);
+    }
+
+    #[test]
+    fn claimed_value_rejected_on_push() {
+        let d: LfrcSnarkRepaired<McasWord> = LfrcSnarkRepaired::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.push_left(crate::CLAIMED);
+        }));
+        assert!(r.is_err(), "CLAIMED sentinel must be rejected as a value");
+    }
+}

@@ -1,0 +1,304 @@
+//! The LFRC transformation **without step 3** — a deliberately leaky
+//! variant for experiment E6.
+//!
+//! Paper §3 step 3: "the reference counts of nodes in a garbage cycle
+//! will remain non-zero forever. Therefore … we must ensure that the
+//! implementation does not result in cycles among garbage objects.
+//! (Failing to achieve this will result in the memory on and reachable
+//! from the cycle being lost, but will not affect the correctness of the
+//! implemented data structure.)"
+//!
+//! This variant applies steps 1, 2, 4, 5, 6 — but keeps the original
+//! Snark's **self-pointer sentinels** instead of switching to nulls. A
+//! popped node then holds a counted pointer *to itself*: a one-node
+//! garbage cycle whose count can never reach zero. Experiment E6 measures
+//! the resulting leak (and verifies the paper's parenthetical: values are
+//! still delivered correctly — only memory is lost).
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use lfrc_core::{DcasWord, Heap, Local, PtrField, SharedField};
+
+use crate::lfrc_published::SNode;
+use crate::pause::{NoPause, PausePolicy};
+use crate::{check_value, ConcurrentDeque};
+
+/// Snark with LFRC applied but self-pointer sentinels kept — leaks every
+/// popped node (experiment E6's subject). Not for real use.
+pub struct LfrcSnarkSelfPtr<W: DcasWord, P: PausePolicy = NoPause> {
+    dummy: SharedField<SNode<W>, W>,
+    left_hat: SharedField<SNode<W>, W>,
+    right_hat: SharedField<SNode<W>, W>,
+    heap: Heap<SNode<W>, W>,
+    _pause: PhantomData<P>,
+}
+
+impl<W: DcasWord, P: PausePolicy> fmt::Debug for LfrcSnarkSelfPtr<W, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LfrcSnarkSelfPtr")
+            .field("census", self.heap.census())
+            .finish()
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> Default for LfrcSnarkSelfPtr<W, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> LfrcSnarkSelfPtr<W, P> {
+    /// Creates an empty deque; the Dummy sentinel carries self-pointers
+    /// (one deliberate cycle that the destructor breaks by hand).
+    pub fn new() -> Self {
+        let heap: Heap<SNode<W>, W> = Heap::new();
+        let dummy_node = heap.alloc(SNode::new(0));
+        let deque = LfrcSnarkSelfPtr {
+            dummy: SharedField::null(),
+            left_hat: SharedField::null(),
+            right_hat: SharedField::null(),
+            heap,
+            _pause: PhantomData,
+        };
+        deque.dummy.store_consume(dummy_node);
+        let dummy = deque.dummy.load().expect("dummy");
+        dummy.l.store(Some(&dummy)); // the original's self-pointers
+        dummy.r.store(Some(&dummy));
+        deque.left_hat.store(Some(&dummy));
+        deque.right_hat.store(Some(&dummy));
+        deque
+    }
+
+    /// The heap (for leak measurement — the whole point of this variant).
+    pub fn heap(&self) -> &Heap<SNode<W>, W> {
+        &self.heap
+    }
+
+    fn dummy(&self) -> Local<SNode<W>, W> {
+        self.dummy.load().expect("dummy is never null while alive")
+    }
+
+    fn is_self(field: &PtrField<SNode<W>, W>, node: &Local<SNode<W>, W>) -> bool {
+        match field.load() {
+            Some(ref n) => Local::ptr_eq(n, node),
+            None => false,
+        }
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> ConcurrentDeque for LfrcSnarkSelfPtr<W, P> {
+    fn push_right(&self, value: u64) {
+        check_value(value);
+        let dummy = self.dummy();
+        let nd = self.heap.alloc(SNode::new(value));
+        nd.r.store(Some(&dummy));
+        loop {
+            let rh = self.right_hat.load().expect("hat");
+            let rh_r = rh.r.load();
+            let sentinel = rh_r.as_ref().is_some_and(|n| Local::ptr_eq(n, &rh));
+            if sentinel {
+                nd.l.store(Some(&dummy));
+                let lh = self.left_hat.load().expect("hat");
+                if PtrField::dcas(
+                    &self.right_hat,
+                    &self.left_hat,
+                    Some(&rh),
+                    Some(&lh),
+                    Some(&nd),
+                    Some(&nd),
+                ) {
+                    return;
+                }
+            } else {
+                nd.l.store(Some(&rh));
+                if PtrField::dcas(
+                    &self.right_hat,
+                    &rh.r,
+                    Some(&rh),
+                    rh_r.as_ref(),
+                    Some(&nd),
+                    Some(&nd),
+                ) {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn push_left(&self, value: u64) {
+        check_value(value);
+        let dummy = self.dummy();
+        let nd = self.heap.alloc(SNode::new(value));
+        nd.l.store(Some(&dummy));
+        loop {
+            let lh = self.left_hat.load().expect("hat");
+            let lh_l = lh.l.load();
+            let sentinel = lh_l.as_ref().is_some_and(|n| Local::ptr_eq(n, &lh));
+            if sentinel {
+                nd.r.store(Some(&dummy));
+                let rh = self.right_hat.load().expect("hat");
+                if PtrField::dcas(
+                    &self.left_hat,
+                    &self.right_hat,
+                    Some(&lh),
+                    Some(&rh),
+                    Some(&nd),
+                    Some(&nd),
+                ) {
+                    return;
+                }
+            } else {
+                nd.r.store(Some(&lh));
+                if PtrField::dcas(
+                    &self.left_hat,
+                    &lh.l,
+                    Some(&lh),
+                    lh_l.as_ref(),
+                    Some(&nd),
+                    Some(&nd),
+                ) {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn pop_right(&self) -> Option<u64> {
+        loop {
+            let rh = self.right_hat.load().expect("hat");
+            let lh = self.left_hat.load().expect("hat");
+            if Self::is_self(&rh.r, &rh) {
+                return None;
+            }
+            if Local::ptr_eq(&rh, &lh) {
+                let dummy = self.dummy();
+                if PtrField::dcas(
+                    &self.right_hat,
+                    &self.left_hat,
+                    Some(&rh),
+                    Some(&lh),
+                    Some(&dummy),
+                    Some(&dummy),
+                ) {
+                    return Some(rh.v.load());
+                }
+            } else {
+                let rh_l = rh.l.load();
+                // THE LEAK: install a counted self-pointer instead of null
+                // — the popped node becomes a one-node garbage cycle.
+                if PtrField::dcas(
+                    &self.right_hat,
+                    &rh.l,
+                    Some(&rh),
+                    rh_l.as_ref(),
+                    rh_l.as_ref(),
+                    Some(&rh),
+                ) {
+                    return Some(rh.v.load());
+                }
+            }
+        }
+    }
+
+    fn pop_left(&self) -> Option<u64> {
+        loop {
+            let lh = self.left_hat.load().expect("hat");
+            let rh = self.right_hat.load().expect("hat");
+            if Self::is_self(&lh.l, &lh) {
+                return None;
+            }
+            if Local::ptr_eq(&lh, &rh) {
+                let dummy = self.dummy();
+                if PtrField::dcas(
+                    &self.left_hat,
+                    &self.right_hat,
+                    Some(&lh),
+                    Some(&rh),
+                    Some(&dummy),
+                    Some(&dummy),
+                ) {
+                    return Some(lh.v.load());
+                }
+            } else {
+                let lh_r = lh.r.load();
+                if PtrField::dcas(
+                    &self.left_hat,
+                    &lh.r,
+                    Some(&lh),
+                    lh_r.as_ref(),
+                    lh_r.as_ref(),
+                    Some(&lh),
+                ) {
+                    return Some(lh.v.load());
+                }
+            }
+        }
+    }
+
+    fn impl_name(&self) -> String {
+        format!("snark-lfrc-selfptr-LEAKY/{}", W::strategy_name())
+    }
+}
+
+impl<W: DcasWord, P: PausePolicy> Drop for LfrcSnarkSelfPtr<W, P> {
+    fn drop(&mut self) {
+        while self.pop_left().is_some() {}
+        // Break the Dummy's deliberate self-cycle so only *pop garbage*
+        // leaks — isolating the effect experiment E6 measures.
+        if let Some(dummy) = self.dummy.load() {
+            dummy.l.store(None);
+            dummy.r.store(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrc_core::McasWord;
+
+    #[test]
+    fn values_correct_but_memory_leaks() {
+        let census;
+        {
+            let d: LfrcSnarkSelfPtr<McasWord> = LfrcSnarkSelfPtr::new();
+            census = std::sync::Arc::clone(d.heap().census());
+            // Values flow correctly (the paper: "will not affect the
+            // correctness of the implemented data structure")...
+            for v in 1..=20 {
+                d.push_right(v);
+            }
+            for v in 1..=20 {
+                assert_eq!(d.pop_left(), Some(v));
+            }
+            assert_eq!(d.pop_left(), None);
+        }
+        // ...but all 20 popped nodes are one-node garbage cycles.
+        // (The last popped node went through the two-hat branch without a
+        // self-pointer, so 19 or 20 leak depending on the final shape.)
+        let leaked = census.live();
+        assert!(
+            leaked >= 19,
+            "expected the self-pointer cycles to leak, live = {leaked}"
+        );
+    }
+
+    #[test]
+    fn null_sentinel_sibling_does_not_leak() {
+        // Control group: the proper (step-3-compliant) variant under the
+        // exact same workload.
+        let census;
+        {
+            let d: crate::LfrcSnark<McasWord> = crate::LfrcSnark::new();
+            census = std::sync::Arc::clone(d.heap().census());
+            for v in 1..=20 {
+                d.push_right(v);
+            }
+            for v in 1..=20 {
+                assert_eq!(d.pop_left(), Some(v));
+            }
+        }
+        assert_eq!(census.live(), 0);
+    }
+}

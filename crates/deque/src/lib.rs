@@ -1,0 +1,225 @@
+//! The **Snark** lock-free deque — the paper's worked example (§4) — in
+//! four variants.
+//!
+//! Snark (Detlefs, Flood, Garthwaite, Martin, Shavit & Steele, *Even
+//! better DCAS-based concurrent deques*, DISC 2000 — the paper's \[3\])
+//! represents a deque as a doubly-linked list of `SNode`s with two *hat*
+//! pointers and a *Dummy* sentinel. Every pointer is accessed only by
+//! load, store, and DCAS, which makes it exactly the kind of
+//! GC-dependent algorithm the LFRC methodology transforms.
+//!
+//! | variant | memory | pops | module |
+//! |---|---|---|---|
+//! | [`GcSnark`] | GC-dependent (leak arena) | published | [`gc_published`] |
+//! | [`GcSnarkRepaired`] | GC-dependent (leak arena) | value-claiming | [`gc_repaired`] |
+//! | [`LfrcSnark`] | **LFRC** (paper §4) | published | [`lfrc_published`] |
+//! | [`LfrcSnarkRepaired`] | **LFRC** | value-claiming | [`lfrc_repaired`] |
+//! | [`LfrcSnarkSelfPtr`] | **LFRC**, step 3 skipped (leaks!) | published | [`lfrc_selfptr`] |
+//!
+//! ## The published algorithm's defect, and the repaired pops
+//!
+//! Doherty, Detlefs, Groves, Flood, Luchangco, Martin, Moir, Shavit &
+//! Steele (*DCAS is not a silver bullet in nonblocking algorithm design*,
+//! SPAA 2004) proved — three years after the LFRC paper — that published
+//! Snark can return the **same value from both ends** under a rare
+//! interleaving: with one element left, a `popLeft` and a `popRight` that
+//! each read the *other* hat stale both take their non-empty branch, and
+//! their structural DCASes touch disjoint location pairs
+//! (`⟨LeftHat, X.R⟩` vs `⟨RightHat, X.L⟩`), so both succeed.
+//!
+//! We implement the published algorithm faithfully (it is what the LFRC
+//! paper transforms, and the transformation — the subject under
+//! reproduction — is orthogonal to the defect). The *repaired* variants
+//! add a per-node **value claim**: after winning its structural DCAS, a
+//! pop must also CAS the node's value cell from `v` to
+//! [`CLAIMED`]; exactly one pop can win that claim, so duplication is
+//! structurally impossible, and a pop that loses the claim simply
+//! retries. Concurrency stress tests target the repaired variants; an
+//! adversarial-schedule fuzzer (`tests/snark_adversarial.rs` at the
+//! workspace root) injects randomized delays at the pause points and
+//! verifies the repaired variants conserve values under every schedule
+//! explored, while exercising (and reporting on) the published ones.
+//!
+//! ## GC-dependent variants and the leak arena
+//!
+//! The GC-dependent variants allocate from a
+//! [`LeakArena`](lfrc_reclaim::LeakArena) — the "GC that never runs".
+//! Epoch-based reclamation is *not* a safe substitute here: a popped
+//! Snark node may linger as a sentinel still referenced by hats and
+//! neighbours, so no single program point is an unlink — deciding when a
+//! node is garbage requires tracing or counting, which is exactly the
+//! problem LFRC solves. (The stack/queue structures in
+//! `lfrc-structures`, where unlink *is* a single point, do run on EBR.)
+//!
+//! ## Values
+//!
+//! Deques carry `u64` values strictly below [`MAX_VALUE`] (the repaired
+//! variants reserve [`CLAIMED`] as a sentinel; the GC variants reserve
+//! nothing but share the bound for substitutability).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gc_published;
+pub mod gc_repaired;
+pub mod lfrc_published;
+pub mod lfrc_repaired;
+pub mod lfrc_selfptr;
+pub mod pause;
+
+pub use gc_published::GcSnark;
+pub use gc_repaired::GcSnarkRepaired;
+pub use lfrc_published::LfrcSnark;
+pub use lfrc_repaired::LfrcSnarkRepaired;
+pub use lfrc_selfptr::LfrcSnarkSelfPtr;
+pub use pause::{HookPause, NoPause, PausePolicy, PauseSite};
+
+/// Sentinel stored in a node's value cell once a repaired pop has claimed
+/// it. User values must be strictly smaller.
+pub const CLAIMED: u64 = 1 << 61;
+
+/// Exclusive upper bound on user values.
+pub const MAX_VALUE: u64 = CLAIMED;
+
+/// A concurrent double-ended queue of `u64` values.
+///
+/// Implemented by all four Snark variants and by the locked baseline in
+/// `lfrc-baselines`, so the harness and benchmarks can drive any of them
+/// through one interface.
+pub trait ConcurrentDeque: Send + Sync {
+    /// Pushes `value` onto the left end. Panics if `value >= MAX_VALUE`.
+    fn push_left(&self, value: u64);
+    /// Pushes `value` onto the right end. Panics if `value >= MAX_VALUE`.
+    fn push_right(&self, value: u64);
+    /// Pops from the left end; `None` when the deque is (momentarily) empty.
+    fn pop_left(&self) -> Option<u64>;
+    /// Pops from the right end; `None` when the deque is (momentarily) empty.
+    fn pop_right(&self) -> Option<u64>;
+    /// Implementation label for benchmark tables.
+    fn impl_name(&self) -> String;
+}
+
+pub(crate) fn check_value(value: u64) {
+    assert!(
+        value < MAX_VALUE,
+        "deque values must be < MAX_VALUE (= 2^61); got {value:#x}"
+    );
+}
+
+#[cfg(test)]
+pub(crate) mod exercise {
+    //! Variant-independent behaviour tests, instantiated by each module.
+    use super::ConcurrentDeque;
+
+    /// Sequential semantics: the deque behaves like `VecDeque` from both
+    /// ends.
+    pub(crate) fn sequential<D: ConcurrentDeque>(d: &D) {
+        assert_eq!(d.pop_left(), None);
+        assert_eq!(d.pop_right(), None);
+
+        // Right-push / right-pop is LIFO.
+        for v in 1..=5 {
+            d.push_right(v);
+        }
+        for v in (1..=5).rev() {
+            assert_eq!(d.pop_right(), Some(v));
+        }
+        assert_eq!(d.pop_right(), None);
+
+        // Right-push / left-pop is FIFO.
+        for v in 1..=5 {
+            d.push_right(v);
+        }
+        for v in 1..=5 {
+            assert_eq!(d.pop_left(), Some(v));
+        }
+        assert_eq!(d.pop_left(), None);
+
+        // Left-push / right-pop is FIFO.
+        for v in 1..=5 {
+            d.push_left(v);
+        }
+        for v in 1..=5 {
+            assert_eq!(d.pop_right(), Some(v));
+        }
+
+        // Mixed: build 3,1 ; 2,4 → expect left-to-right 3,1,2,4.
+        d.push_right(1);
+        d.push_right(2);
+        d.push_left(3);
+        d.push_right(4);
+        assert_eq!(d.pop_left(), Some(3));
+        assert_eq!(d.pop_right(), Some(4));
+        assert_eq!(d.pop_left(), Some(1));
+        assert_eq!(d.pop_left(), Some(2));
+        assert_eq!(d.pop_left(), None);
+
+        // Alternating singleton churn around empty.
+        for v in 0..10 {
+            d.push_left(v);
+            assert_eq!(d.pop_right(), Some(v));
+        }
+        assert_eq!(d.pop_left(), None);
+    }
+
+    /// Concurrency smoke test: values are conserved (no loss, no
+    /// duplication) across a mixed-end workload.
+    pub(crate) fn conservation<D: ConcurrentDeque>(d: &D, threads: usize, per_thread: u64) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Barrier;
+
+        let popped_sum = AtomicU64::new(0);
+        let popped_count = AtomicU64::new(0);
+        let barrier = Barrier::new(threads * 2);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (d, barrier) = (&*d, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..per_thread {
+                        let v = t as u64 * per_thread + i + 1;
+                        if v % 2 == 0 {
+                            d.push_left(v);
+                        } else {
+                            d.push_right(v);
+                        }
+                    }
+                });
+            }
+            for t in 0..threads {
+                let (d, barrier) = (&*d, &barrier);
+                let (sum, count) = (&popped_sum, &popped_count);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut got = 0;
+                    let mut empties = 0u32;
+                    while got < per_thread && empties < 1_000_000 {
+                        let v = if t % 2 == 0 { d.pop_left() } else { d.pop_right() };
+                        match v {
+                            Some(v) => {
+                                sum.fetch_add(v, Ordering::Relaxed);
+                                count.fetch_add(1, Ordering::Relaxed);
+                                got += 1;
+                                empties = 0;
+                            }
+                            None => {
+                                empties += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Drain the remainder (poppers may have given up on a momentarily
+        // empty deque).
+        while let Some(v) = d.pop_left() {
+            popped_sum.fetch_add(v, Ordering::Relaxed);
+            popped_count.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = threads as u64 * per_thread;
+        let expected_sum = n * (n + 1) / 2;
+        assert_eq!(popped_count.load(Ordering::Relaxed), n, "lost or duplicated items");
+        assert_eq!(popped_sum.load(Ordering::Relaxed), expected_sum, "value multiset corrupted");
+    }
+}

@@ -1,0 +1,116 @@
+//! Injectable pause points for interleaving control and stall injection.
+//!
+//! Lock-freedom is a claim about adversarial schedules: "after a finite
+//! number of steps of one of its operations, some operation … completes"
+//! *even if other threads stall anywhere*. To test that claim (experiment
+//! E4) and to reproduce the published Snark defect deterministically, the
+//! deque implementations are generic over a [`PausePolicy`] and invoke
+//! [`PausePolicy::pause`] at the algorithmically interesting points.
+//!
+//! * [`NoPause`] (the default) compiles to nothing.
+//! * [`HookPause`] consults a thread-local hook, so a test can stall one
+//!   chosen thread at one chosen site while other threads run free.
+
+use std::cell::RefCell;
+
+/// Identifies the program point at which a pause hook fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PauseSite {
+    /// A push has read the hat(s) but not yet attempted its DCAS.
+    PushBeforeDcas,
+    /// A pop has read the hats but not yet examined the end node.
+    PopAfterReadHats,
+    /// A pop is about to attempt its structural DCAS.
+    PopBeforeDcas,
+    /// A repaired pop has won its structural DCAS but not yet claimed the
+    /// value.
+    PopBeforeClaim,
+}
+
+/// Strategy for (not) pausing at instrumented program points.
+pub trait PausePolicy: Send + Sync + 'static {
+    /// Called at each instrumented site.
+    fn pause(site: PauseSite);
+}
+
+/// The production policy: every pause point is a no-op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoPause;
+
+impl PausePolicy for NoPause {
+    #[inline(always)]
+    fn pause(_site: PauseSite) {}
+}
+
+thread_local! {
+    static HOOK: RefCell<Option<Box<dyn FnMut(PauseSite)>>> = const { RefCell::new(None) };
+}
+
+/// A policy that calls the current thread's installed hook (if any).
+///
+/// # Example
+///
+/// ```
+/// use lfrc_deque::{HookPause, PauseSite};
+///
+/// HookPause::set_thread_hook(Some(Box::new(|site| {
+///     if site == PauseSite::PopBeforeDcas {
+///         // block, count, or synchronize with another thread here
+///     }
+/// })));
+/// // ... drive a deque instantiated as e.g. LfrcSnark<McasWord, HookPause> ...
+/// HookPause::set_thread_hook(None);
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HookPause;
+
+impl HookPause {
+    /// Installs (or clears) the pause hook for the calling thread.
+    pub fn set_thread_hook(hook: Option<Box<dyn FnMut(PauseSite)>>) {
+        HOOK.with(|h| *h.borrow_mut() = hook);
+    }
+}
+
+impl PausePolicy for HookPause {
+    fn pause(site: PauseSite) {
+        HOOK.with(|h| {
+            if let Some(f) = h.borrow_mut().as_mut() {
+                f(site);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn no_pause_is_silent() {
+        NoPause::pause(PauseSite::PushBeforeDcas);
+    }
+
+    #[test]
+    fn hook_fires_only_on_installing_thread() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hits);
+        HookPause::set_thread_hook(Some(Box::new(move |_| {
+            h2.fetch_add(1, Ordering::SeqCst);
+        })));
+        HookPause::pause(PauseSite::PopBeforeDcas);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        let hits2 = Arc::clone(&hits);
+        std::thread::spawn(move || {
+            HookPause::pause(PauseSite::PopBeforeDcas);
+            assert_eq!(hits2.load(Ordering::SeqCst), 1, "other thread has no hook");
+        })
+        .join()
+        .unwrap();
+        HookPause::set_thread_hook(None);
+        HookPause::pause(PauseSite::PopBeforeDcas);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

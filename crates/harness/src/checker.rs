@@ -1,0 +1,164 @@
+//! Invariant checking for concurrent runs.
+//!
+//! The central invariant (I4 in DESIGN.md): across a whole run,
+//! `multiset(pushed) == multiset(popped) ⊎ multiset(drained)` — nothing
+//! lost, nothing duplicated. Tracking full multisets would perturb the
+//! measured loop, so the checker folds each value into order-insensitive
+//! accumulators (count, sum, xor, and a weak polynomial hash); any single
+//! lost or duplicated value changes at least the count/sum pair, and
+//! value corruption is caught by xor with overwhelming probability.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Order-insensitive accumulator of a value multiset.
+#[derive(Debug, Default)]
+struct MultisetDigest {
+    count: AtomicU64,
+    sum: AtomicU64,
+    xor: AtomicU64,
+}
+
+impl MultisetDigest {
+    fn add(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.xor.fetch_xor(v.wrapping_mul(0x9e3779b97f4a7c15) | 1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.count.load(Ordering::Acquire),
+            self.sum.load(Ordering::Acquire),
+            self.xor.load(Ordering::Acquire),
+        )
+    }
+}
+
+/// Records pushes and pops of a run and verdicts conservation afterwards.
+///
+/// # Example
+///
+/// ```
+/// use lfrc_harness::ConservationChecker;
+///
+/// let c = ConservationChecker::new();
+/// c.pushed(7);
+/// c.pushed(8);
+/// c.popped(8);
+/// c.popped(7);
+/// c.verify().expect("conserved");
+/// ```
+#[derive(Debug, Default)]
+pub struct ConservationChecker {
+    pushed: MultisetDigest,
+    popped: MultisetDigest,
+}
+
+/// A conservation violation: what diverged between pushes and pops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservationError {
+    /// (count, sum, xor) digest of pushed values.
+    pub pushed: (u64, u64, u64),
+    /// (count, sum, xor) digest of popped (+ drained) values.
+    pub popped: (u64, u64, u64),
+}
+
+impl fmt::Display for ConservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conservation violated: pushed (n={}, sum={}, xor={:#x}) vs popped (n={}, sum={}, xor={:#x})",
+            self.pushed.0, self.pushed.1, self.pushed.2, self.popped.0, self.popped.1, self.popped.2
+        )
+    }
+}
+
+impl std::error::Error for ConservationError {}
+
+impl ConservationChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a value handed to the structure.
+    pub fn pushed(&self, v: u64) {
+        self.pushed.add(v);
+    }
+
+    /// Records a value received back (including drain-phase values).
+    pub fn popped(&self, v: u64) {
+        self.popped.add(v);
+    }
+
+    /// Number of pushes recorded so far.
+    pub fn pushed_count(&self) -> u64 {
+        self.pushed.snapshot().0
+    }
+
+    /// Number of pops recorded so far.
+    pub fn popped_count(&self) -> u64 {
+        self.popped.snapshot().0
+    }
+
+    /// Checks that the pop multiset equals the push multiset.
+    pub fn verify(&self) -> Result<(), ConservationError> {
+        let pushed = self.pushed.snapshot();
+        let popped = self.popped.snapshot();
+        if pushed == popped {
+            Ok(())
+        } else {
+            Err(ConservationError { pushed, popped })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_run_verifies() {
+        let c = ConservationChecker::new();
+        for v in 0..100 {
+            c.pushed(v);
+        }
+        for v in (0..100).rev() {
+            c.popped(v);
+        }
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn lost_value_detected() {
+        let c = ConservationChecker::new();
+        c.pushed(1);
+        c.pushed(2);
+        c.popped(1);
+        let err = c.verify().unwrap_err();
+        assert_eq!(err.pushed.0, 2);
+        assert_eq!(err.popped.0, 1);
+        assert!(format!("{err}").contains("conservation violated"));
+    }
+
+    #[test]
+    fn duplicated_value_detected() {
+        let c = ConservationChecker::new();
+        c.pushed(5);
+        c.popped(5);
+        c.popped(5);
+        assert!(c.verify().is_err());
+    }
+
+    #[test]
+    fn value_swap_detected_by_xor() {
+        // Same count and — by construction — same sum, different values.
+        let c = ConservationChecker::new();
+        c.pushed(1);
+        c.pushed(4);
+        c.popped(2);
+        c.popped(3);
+        assert!(c.verify().is_err(), "xor digest must catch equal-sum swaps");
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness: workload generation, throughput measurement,
+//! stall injection scaffolding, invariant checking, memory sampling, and
+//! table rendering.
+//!
+//! Every experiment binary in `lfrc-bench` (see EXPERIMENTS.md) is built
+//! from these pieces. The harness is deliberately structure-agnostic — it
+//! drives closures, so the same runner measures a Snark deque, a Valois
+//! stack, or a mutex baseline without the harness depending on any of
+//! them.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checker;
+pub mod latency;
+pub mod memstat;
+pub mod runner;
+pub mod table;
+pub mod workload;
+
+pub use checker::ConservationChecker;
+pub use latency::LatencyHistogram;
+pub use memstat::{rss_bytes, MemSeries};
+pub use runner::{run_for_duration, run_ops, RunStats};
+pub use table::Table;
+pub use workload::{DequeOp, DequeWorkload, Mix, SplitMix64};

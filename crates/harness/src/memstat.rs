@@ -1,0 +1,123 @@
+//! Memory-footprint sampling for experiment E3.
+//!
+//! Two complementary measures:
+//!
+//! * logical footprints reported by the structures themselves (LFRC
+//!   census `live()`, Valois `pool_nodes()`, arena `live()`), collected
+//!   into a [`MemSeries`] per phase;
+//! * the process resident set ([`rss_bytes`]) as a sanity cross-check
+//!   that logical frees actually return memory pressure.
+
+use std::fmt;
+
+/// Current resident-set size of the process, in bytes (Linux
+/// `/proc/self/statm`; returns 0 on other platforms or read failure).
+pub fn rss_bytes() -> u64 {
+    let Ok(statm) = std::fs::read_to_string("/proc/self/statm") else {
+        return 0;
+    };
+    let mut fields = statm.split_whitespace();
+    let _size = fields.next();
+    let Some(resident) = fields.next().and_then(|f| f.parse::<u64>().ok()) else {
+        return 0;
+    };
+    resident * page_size()
+}
+
+fn page_size() -> u64 {
+    // Safety: sysconf is always safe to call.
+    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    if sz > 0 {
+        sz as u64
+    } else {
+        4096
+    }
+}
+
+/// A labelled series of per-phase footprint samples.
+#[derive(Debug, Default, Clone)]
+pub struct MemSeries {
+    samples: Vec<(String, u64)>,
+}
+
+impl MemSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn sample(&mut self, phase: impl Into<String>, value: u64) {
+        self.samples.push((phase.into(), value));
+    }
+
+    /// The recorded samples, in order.
+    pub fn samples(&self) -> &[(String, u64)] {
+        &self.samples
+    }
+
+    /// Largest sample value.
+    pub fn peak(&self) -> u64 {
+        self.samples.iter().map(|(_, v)| *v).max().unwrap_or(0)
+    }
+
+    /// Last sample value.
+    pub fn last(&self) -> u64 {
+        self.samples.last().map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// `true` if some later sample is strictly below an earlier one —
+    /// i.e. the footprint *shrank* at least once (the paper's claim for
+    /// LFRC; false for freelist/arena schemes under monotone load).
+    pub fn ever_shrinks(&self) -> bool {
+        let mut max_seen = 0u64;
+        for (_, v) in &self.samples {
+            if *v < max_seen {
+                return true;
+            }
+            max_seen = (*v).max(max_seen);
+        }
+        false
+    }
+}
+
+impl fmt::Display for MemSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (phase, v) in &self.samples {
+            writeln!(f, "{phase:>24}  {v:>12}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(rss_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn series_detects_shrink() {
+        let mut s = MemSeries::new();
+        s.sample("grow", 100);
+        s.sample("peak", 200);
+        s.sample("drain", 50);
+        assert!(s.ever_shrinks());
+        assert_eq!(s.peak(), 200);
+        assert_eq!(s.last(), 50);
+    }
+
+    #[test]
+    fn monotone_series_never_shrinks() {
+        let mut s = MemSeries::new();
+        s.sample("a", 1);
+        s.sample("b", 1);
+        s.sample("c", 5);
+        assert!(!s.ever_shrinks());
+    }
+}

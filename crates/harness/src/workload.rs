@@ -1,0 +1,195 @@
+//! Deterministic workload generation.
+//!
+//! Experiments must be reproducible run-to-run, so all randomness flows
+//! from seeded [`SplitMix64`] streams (one per thread, derived from the
+//! experiment seed and the thread index).
+
+use std::fmt;
+
+/// A tiny, fast, seedable PRNG (SplitMix64) — deterministic workloads
+/// without dragging a full RNG into the measured loop.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed.wrapping_add(0x9e3779b97f4a7c15),
+        }
+    }
+
+    /// Derives an independent stream for a thread.
+    pub fn for_thread(seed: u64, thread: usize) -> Self {
+        let mut base = SplitMix64::new(seed ^ (thread as u64).wrapping_mul(0xff51afd7ed558ccd));
+        base.next(); // decorrelate
+        base
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (bound > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// Bernoulli draw with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// One deque operation of a generated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DequeOp {
+    /// Push a value on the left end.
+    PushLeft(u64),
+    /// Push a value on the right end.
+    PushRight(u64),
+    /// Pop from the left end.
+    PopLeft,
+    /// Pop from the right end.
+    PopRight,
+}
+
+/// Operation mixes used by the throughput experiments (E2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 50% pushes / 50% pops, uniformly random ends — general churn.
+    Balanced,
+    /// Push right, pop left — the deque as a FIFO pipeline.
+    Fifo,
+    /// Push right, pop right — the deque as a LIFO work pile
+    /// (work-stealing owner end).
+    Lifo,
+}
+
+impl Mix {
+    /// All mixes, in table order.
+    pub const ALL: [Mix; 3] = [Mix::Balanced, Mix::Fifo, Mix::Lifo];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::Balanced => "balanced-50/50",
+            Mix::Fifo => "fifo(pushR/popL)",
+            Mix::Lifo => "lifo(pushR/popR)",
+        }
+    }
+}
+
+impl fmt::Display for Mix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A per-thread deterministic stream of deque operations.
+#[derive(Debug)]
+pub struct DequeWorkload {
+    rng: SplitMix64,
+    mix: Mix,
+    counter: u64,
+    thread: u64,
+}
+
+impl DequeWorkload {
+    /// Creates the stream for one thread of an experiment.
+    pub fn new(seed: u64, thread: usize, mix: Mix) -> Self {
+        DequeWorkload {
+            rng: SplitMix64::for_thread(seed, thread),
+            mix,
+            counter: 0,
+            thread: thread as u64,
+        }
+    }
+
+    /// Next operation. Values are unique per (thread, op-index) so
+    /// conservation checking can detect duplication.
+    pub fn next_op(&mut self) -> DequeOp {
+        self.counter += 1;
+        // Unique, bounded value: thread in the high bits, counter low.
+        let value = (self.thread << 40) | (self.counter & ((1 << 40) - 1));
+        match self.mix {
+            Mix::Balanced => match self.rng.below(4) {
+                0 => DequeOp::PushLeft(value),
+                1 => DequeOp::PushRight(value),
+                2 => DequeOp::PopLeft,
+                _ => DequeOp::PopRight,
+            },
+            Mix::Fifo => {
+                if self.rng.chance(50) {
+                    DequeOp::PushRight(value)
+                } else {
+                    DequeOp::PopLeft
+                }
+            }
+            Mix::Lifo => {
+                if self.rng.chance(50) {
+                    DequeOp::PushRight(value)
+                } else {
+                    DequeOp::PopRight
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn thread_streams_differ() {
+        let mut a = SplitMix64::for_thread(7, 0);
+        let mut b = SplitMix64::for_thread(7, 1);
+        let same = (0..32).filter(|_| a.next() == b.next()).count();
+        assert!(same < 2, "thread streams should be decorrelated");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn workload_values_are_unique() {
+        let mut w = DequeWorkload::new(3, 1, Mix::Balanced);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            if let DequeOp::PushLeft(v) | DequeOp::PushRight(v) = w.next_op() {
+                assert!(seen.insert(v), "duplicate generated value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_mix_never_pops_right() {
+        let mut w = DequeWorkload::new(3, 0, Mix::Fifo);
+        for _ in 0..1_000 {
+            let op = w.next_op();
+            assert!(!matches!(op, DequeOp::PopRight | DequeOp::PushLeft(_)));
+        }
+    }
+}

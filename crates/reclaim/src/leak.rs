@@ -1,0 +1,196 @@
+//! A leak arena: the "GC that never runs" environment.
+//!
+//! GC-dependent lock-free algorithms are correct as long as memory is never
+//! reclaimed out from under a reader. The crudest environment with that
+//! property simply never reclaims at all; everything is freed in one sweep
+//! when the arena is dropped (i.e. when the data structure's lifetime
+//! ends). This models the paper's observation (§1, footnote 2) that a
+//! GC-dependent implementation is oblivious to *when* collection happens —
+//! including "never, until shutdown".
+//!
+//! Experiment E3 uses the arena as the memory-consumption worst case, and
+//! the differential tests use it as a correctness oracle (premature-free
+//! bugs are impossible here, so any misbehaviour is algorithmic).
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// One leaked allocation, kept on an intrusive Treiber stack so that the
+/// arena can free everything at drop time.
+struct Slot {
+    /// Type-erased owner; executing it frees the allocation.
+    free: unsafe fn(*mut ()),
+    data: *mut (),
+    next: *mut Slot,
+}
+
+/// A concurrent allocation arena that frees nothing until it is dropped.
+///
+/// Allocation is lock-free (one CAS to link the bookkeeping slot).
+///
+/// # Example
+///
+/// ```
+/// use lfrc_reclaim::LeakArena;
+///
+/// let arena = LeakArena::new();
+/// let p: *mut u64 = arena.alloc(99);
+/// // Safety: the arena keeps the allocation alive.
+/// assert_eq!(unsafe { *p }, 99);
+/// assert_eq!(arena.live(), 1);
+/// drop(arena); // everything is freed here
+/// ```
+pub struct LeakArena {
+    head: AtomicPtr<Slot>,
+    count: AtomicU64,
+    bytes: AtomicU64,
+}
+
+// Safety: the arena only hands out raw pointers; its own state is atomic.
+unsafe impl Send for LeakArena {}
+unsafe impl Sync for LeakArena {}
+
+impl fmt::Debug for LeakArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LeakArena")
+            .field("live", &self.live())
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+impl Default for LeakArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LeakArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        LeakArena {
+            head: AtomicPtr::new(ptr::null_mut()),
+            count: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Heap-allocates `value` and records it for reclamation at arena drop.
+    ///
+    /// The returned pointer stays valid (and its pointee un-moved) for the
+    /// arena's whole lifetime. The value's `Drop` runs when the arena is
+    /// dropped.
+    pub fn alloc<T: Send + 'static>(&self, value: T) -> *mut T {
+        unsafe fn free<T>(data: *mut ()) {
+            // Safety: `data` came from `Box::into_raw::<T>` below.
+            drop(unsafe { Box::from_raw(data as *mut T) });
+        }
+        let data = Box::into_raw(Box::new(value));
+        let slot = Box::into_raw(Box::new(Slot {
+            free: free::<T>,
+            data: data as *mut (),
+            next: ptr::null_mut(),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            // Safety: freshly allocated, not yet shared.
+            unsafe { (*slot).next = head };
+            if self
+                .head
+                .compare_exchange(head, slot, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(std::mem::size_of::<T>() as u64, Ordering::Relaxed);
+        data
+    }
+
+    /// Number of allocations currently held (monotonic: nothing is ever
+    /// freed before drop).
+    pub fn live(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Total payload bytes held (excluding bookkeeping slots).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for LeakArena {
+    fn drop(&mut self) {
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // Safety: exclusive access during drop; each slot/data pair was
+            // allocated by `alloc` and is freed exactly once.
+            let slot = unsafe { Box::from_raw(cur) };
+            unsafe { (slot.free)(slot.data) };
+            cur = slot.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn alloc_and_read_back() {
+        let arena = LeakArena::new();
+        let a = arena.alloc(1u32);
+        let b = arena.alloc(2u32);
+        unsafe {
+            assert_eq!(*a, 1);
+            assert_eq!(*b, 2);
+        }
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.bytes(), 8);
+    }
+
+    #[test]
+    fn drop_runs_destructors_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Noisy;
+        impl Drop for Noisy {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, std::sync::atomic::Ordering::SeqCst);
+        {
+            let arena = LeakArena::new();
+            for _ in 0..17 {
+                arena.alloc(Noisy);
+            }
+        }
+        assert_eq!(DROPS.load(std::sync::atomic::Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn concurrent_alloc() {
+        const THREADS: usize = 8;
+        const PER: usize = 1_000;
+        let arena = Arc::new(LeakArena::new());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let arena = Arc::clone(&arena);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let p = arena.alloc((t * PER + i) as u64);
+                        unsafe {
+                            assert_eq!(*p, (t * PER + i) as u64);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.live(), (THREADS * PER) as u64);
+    }
+}

@@ -1,0 +1,109 @@
+//! Counters exposed by the reclamation substrates.
+//!
+//! The experiments in EXPERIMENTS.md (notably E3, memory growth/shrink)
+//! need to observe how much garbage is outstanding at each phase of a
+//! workload; these counters provide that without any locking on the hot
+//! path.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters maintained by a collector.
+#[derive(Debug, Default)]
+pub struct CollectorStats {
+    retired: AtomicU64,
+    freed: AtomicU64,
+    pins: AtomicU64,
+    advances: AtomicU64,
+}
+
+impl CollectorStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn note_retired(&self, n: u64) {
+        self.retired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_freed(&self, n: u64) {
+        if n > 0 {
+            self.freed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_pin(&self) {
+        self.pins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_advance(&self) {
+        self.advances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            retired: self.retired.load(Ordering::Acquire),
+            freed: self.freed.load(Ordering::Acquire),
+            pins: self.pins.load(Ordering::Acquire),
+            advances: self.advances.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// A point-in-time copy of a collector's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Objects handed to `defer_destroy`/`defer` so far.
+    pub retired: u64,
+    /// Objects whose deferred action has run.
+    pub freed: u64,
+    /// Number of (outermost) pin operations.
+    pub pins: u64,
+    /// Number of successful global-epoch advances.
+    pub advances: u64,
+}
+
+impl StatsSnapshot {
+    /// Garbage retired but not yet freed.
+    pub fn pending(&self) -> u64 {
+        self.retired.saturating_sub(self.freed)
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retired={} freed={} pending={} pins={} advances={}",
+            self.retired,
+            self.freed,
+            self.pending(),
+            self.pins,
+            self.advances
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_is_difference() {
+        let s = CollectorStats::new();
+        s.note_retired(5);
+        s.note_freed(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.pending(), 3);
+        assert_eq!(format!("{snap}"), "retired=5 freed=2 pending=3 pins=0 advances=0");
+    }
+
+    #[test]
+    fn freed_zero_is_noop() {
+        let s = CollectorStats::new();
+        s.note_freed(0);
+        assert_eq!(s.snapshot().freed, 0);
+    }
+}

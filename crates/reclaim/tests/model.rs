@@ -1,0 +1,188 @@
+//! Model-style safety tests for the epoch collector.
+//!
+//! The EBR contract has two halves:
+//!
+//! * **safety** — an object retired at time *t* is not freed while any
+//!   guard taken at or before *t* remains pinned;
+//! * **liveness** — once all such guards drop, finitely many collection
+//!   passes free it.
+//!
+//! These tests drive the collector through adversarial pin/retire/unpin
+//! schedules (sequential, so the schedule is exact) and check both halves
+//! against drop-flag instrumentation, plus randomized concurrent churn
+//! checking the safety half statistically.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lfrc_reclaim::Collector;
+
+/// A drop flag that records the moment of destruction.
+struct Tracked {
+    flag: Arc<AtomicBool>,
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+}
+
+fn tracked() -> (*mut Tracked, Arc<AtomicBool>) {
+    let flag = Arc::new(AtomicBool::new(false));
+    let ptr = Box::into_raw(Box::new(Tracked {
+        flag: Arc::clone(&flag),
+    }));
+    (ptr, flag)
+}
+
+#[test]
+fn retired_object_survives_every_prior_guard() {
+    let collector = Collector::new();
+    let writer = collector.register();
+
+    // Three readers pinned at staggered epochs.
+    let r1 = collector.register();
+    let r2 = collector.register();
+    let r3 = collector.register();
+    let g1 = r1.pin();
+    let g2 = r2.pin();
+
+    let (ptr, dropped) = tracked();
+    {
+        let g = writer.pin();
+        unsafe { g.defer_destroy(ptr) };
+    }
+    // Guards taken after retirement may *delay* reclamation in this
+    // conservative implementation (any stale pinned epoch blocks
+    // advancement) — the safety assertions below hold regardless.
+    let g3 = r3.pin();
+
+    writer.flush();
+    assert!(!dropped.load(Ordering::SeqCst), "freed under g1/g2");
+    drop(g1);
+    writer.flush();
+    assert!(!dropped.load(Ordering::SeqCst), "freed under g2");
+    drop(g2);
+    writer.flush();
+    assert!(!dropped.load(Ordering::SeqCst), "freed under g3 (conservative)");
+    drop(g3);
+    writer.flush();
+    writer.flush();
+    assert!(
+        dropped.load(Ordering::SeqCst),
+        "all guards gone: object must be freed"
+    );
+}
+
+#[test]
+fn repeated_pin_unpin_cycles_free_everything() {
+    let collector = Collector::new();
+    let h = collector.register();
+    let mut flags = Vec::new();
+    for round in 0..50 {
+        let g = h.pin();
+        let (ptr, flag) = tracked();
+        unsafe { g.defer_destroy(ptr) };
+        flags.push(flag);
+        drop(g);
+        if round % 7 == 0 {
+            h.collect();
+        }
+    }
+    h.flush();
+    let freed = flags.iter().filter(|f| f.load(Ordering::SeqCst)).count();
+    assert_eq!(freed, 50, "liveness: everything must free at quiescence");
+}
+
+#[test]
+fn nested_guards_block_like_one() {
+    let collector = Collector::new();
+    let reader = collector.register();
+    let writer = collector.register();
+    let outer = reader.pin();
+    let inner = reader.pin();
+
+    let (ptr, dropped) = tracked();
+    {
+        let g = writer.pin();
+        unsafe { g.defer_destroy(ptr) };
+    }
+    drop(inner);
+    writer.flush();
+    assert!(!dropped.load(Ordering::SeqCst), "outer guard still pinned");
+    drop(outer);
+    writer.flush();
+    assert!(dropped.load(Ordering::SeqCst));
+}
+
+#[test]
+fn concurrent_churn_never_frees_under_reader() {
+    // Readers repeatedly pin, publish that they are "inside", and expect
+    // that any object they could have observed stays alive while pinned.
+    // Modeled with a shared slot: writer retires the old value after
+    // replacing it; readers dereference the value they loaded while
+    // pinned and check its canary.
+    use std::sync::atomic::AtomicPtr;
+
+    struct Slot {
+        canary: AtomicU64,
+    }
+    const ALIVE: u64 = 0xfeed;
+    const DEAD: u64 = 0xdead;
+
+    let collector = Collector::new();
+    let slot = AtomicPtr::new(Box::into_raw(Box::new(Slot {
+        canary: AtomicU64::new(ALIVE),
+    })));
+    let stop = AtomicBool::new(false);
+    let checks = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Writer: swing the slot, retire the old one (poisoning in the
+        // deferred action, then freeing).
+        {
+            let (slot, stop, collector) = (&slot, &stop, &collector);
+            s.spawn(move || {
+                let h = collector.register();
+                for _ in 0..20_000 {
+                    let fresh = Box::into_raw(Box::new(Slot {
+                        canary: AtomicU64::new(ALIVE),
+                    }));
+                    let old = slot.swap(fresh, Ordering::AcqRel) as usize;
+                    let g = h.pin();
+                    g.defer(move || {
+                        // Safety: unlinked; grace period has passed for
+                        // every reader that could hold it. (Address passed
+                        // as usize: raw pointers are not Send.)
+                        let old = unsafe { Box::from_raw(old as *mut Slot) };
+                        old.canary.store(DEAD, Ordering::SeqCst);
+                        drop(old);
+                    });
+                    drop(g);
+                }
+                h.flush();
+                stop.store(true, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..2 {
+            let (slot, stop, collector, checks) = (&slot, &stop, &collector, &checks);
+            s.spawn(move || {
+                let h = collector.register();
+                while !stop.load(Ordering::SeqCst) {
+                    let g = h.pin();
+                    let p = slot.load(Ordering::Acquire);
+                    // Safety: loaded while pinned; EBR must keep it mapped
+                    // and unpoisoned until we unpin.
+                    let canary = unsafe { (*p).canary.load(Ordering::SeqCst) };
+                    assert_eq!(canary, ALIVE, "reader observed a freed slot");
+                    checks.fetch_add(1, Ordering::Relaxed);
+                    drop(g);
+                }
+            });
+        }
+    });
+    assert!(checks.load(Ordering::Relaxed) > 0);
+    // Cleanup the final slot.
+    drop(unsafe { Box::from_raw(slot.load(Ordering::Acquire)) });
+}

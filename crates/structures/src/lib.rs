@@ -1,0 +1,40 @@
+//! Further lock-free structures in GC-dependent and LFRC-transformed
+//! forms — the paper's claim of breadth, made testable.
+//!
+//! The paper (§2.1) claims the operation set "seems to be sufficient to
+//! support a wide range of concurrent data structure implementations" and
+//! mentions "several other candidate implementations in the pipeline".
+//! This crate applies the six-step methodology to two classics beyond the
+//! Snark deque:
+//!
+//! * the **Treiber stack** ([`stack`]), and
+//! * the **Michael–Scott queue** ([`queue`]) — the paper's reference
+//!   \[13\], which it cites as an example of a freelist-bound structure.
+//!
+//! Both are CAS-only algorithms, so their LFRC forms exercise `LFRCLoad`,
+//! `LFRCStore`, and `LFRCCAS` (no DCAS beyond the one hidden inside
+//! `LFRCLoad` — exactly the paper's point that the *load* is where DCAS
+//! is indispensable).
+//!
+//! The GC-dependent originals run on our epoch-based reclamation
+//! (`lfrc-reclaim`): for a stack or queue — unlike Snark — a node's
+//! unlink *is* a single program point, so deferring its destruction to a
+//! grace period is a faithful "assume GC" environment. The GC originals
+//! use native atomics (they need no DCAS), which makes the E9 comparison
+//! an *end-to-end* cost of GC-independence-via-LFRC, software-DCAS
+//! emulation included.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod llsc_stack;
+pub mod queue;
+pub mod set;
+pub mod skiplist;
+pub mod stack;
+
+pub use queue::{ConcurrentQueue, GcQueue, LfrcQueue};
+pub use llsc_stack::LlscStack;
+pub use set::LfrcOrderedSet;
+pub use skiplist::LfrcSkipList;
+pub use stack::{flush_thread, ConcurrentStack, GcStack, LfrcStack};

@@ -1,0 +1,195 @@
+//! A Treiber stack driven by **counted LL/SC** instead of CAS.
+//!
+//! Demonstrates the paper's §2.1 extension
+//! ([`LinkedPtrField`]) inside a real
+//! structure. Algorithmically this is the textbook LL/SC stack: push and
+//! pop link the head, prepare, and store-conditionally commit. Two
+//! properties are worth noticing:
+//!
+//! * the SC fails after *any* interleaved head write — pop needs no ABA
+//!   reasoning at all, not even the (already sufficient) protection LFRC
+//!   counting provides;
+//! * counting is exactly the `LFRCDCAS` discipline: the SC's speculative
+//!   increment is compensated on failure, and the displaced reference is
+//!   released on success — all inside
+//!   [`LinkedPtrField::store_conditional`].
+
+use std::fmt;
+
+use lfrc_core::{DcasWord, Heap, LinkedPtrField, Links, PtrField};
+
+use crate::stack::ConcurrentStack;
+
+/// Node of the LL/SC stack.
+pub struct LlscStackNode<W: DcasWord> {
+    value: u64,
+    next: PtrField<LlscStackNode<W>, W>,
+}
+
+impl<W: DcasWord> Links<W> for LlscStackNode<W> {
+    fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<Self, W>)) {
+        f(&self.next);
+    }
+}
+
+impl<W: DcasWord> fmt::Debug for LlscStackNode<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LlscStackNode")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+/// A Treiber stack whose head is a counted LL/SC location.
+///
+/// # Example
+///
+/// ```
+/// use lfrc_structures::{ConcurrentStack, LlscStack};
+/// use lfrc_core::McasWord;
+///
+/// let s: LlscStack<McasWord> = LlscStack::new();
+/// s.push(1);
+/// s.push(2);
+/// assert_eq!(s.pop(), Some(2));
+/// assert_eq!(s.pop(), Some(1));
+/// assert_eq!(s.pop(), None);
+/// ```
+pub struct LlscStack<W: DcasWord> {
+    head: LinkedPtrField<LlscStackNode<W>, W>,
+    heap: Heap<LlscStackNode<W>, W>,
+}
+
+impl<W: DcasWord> fmt::Debug for LlscStack<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LlscStack")
+            .field("census", self.heap.census())
+            .finish()
+    }
+}
+
+impl<W: DcasWord> Default for LlscStack<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: DcasWord> LlscStack<W> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        LlscStack {
+            head: LinkedPtrField::null(),
+            heap: Heap::new(),
+        }
+    }
+
+    /// The heap (census inspection).
+    pub fn heap(&self) -> &Heap<LlscStackNode<W>, W> {
+        &self.heap
+    }
+}
+
+impl<W: DcasWord> ConcurrentStack for LlscStack<W> {
+    fn push(&self, value: u64) {
+        let node = self.heap.alloc(LlscStackNode {
+            value,
+            next: PtrField::null(),
+        });
+        loop {
+            let (cur, link) = self.head.load_linked();
+            node.next.store(cur.as_ref());
+            if self.head.store_conditional(&link, Some(&node)) {
+                return;
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<u64> {
+        loop {
+            let (cur, link) = self.head.load_linked();
+            let cur = cur?;
+            let next = cur.next.load();
+            if self.head.store_conditional(&link, next.as_ref()) {
+                return Some(cur.value);
+            }
+        }
+    }
+
+    fn impl_name(&self) -> String {
+        format!("stack-lfrc-llsc/{}", W::strategy_name())
+    }
+}
+
+impl<W: DcasWord> Drop for LlscStack<W> {
+    fn drop(&mut self) {
+        // The head is not a SharedField (it carries a version word), so
+        // release its reference explicitly; the chain cascades.
+        self.head.store(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrc_core::McasWord;
+
+    #[test]
+    fn sequential_lifo() {
+        let s: LlscStack<McasWord> = LlscStack::new();
+        assert_eq!(s.pop(), None);
+        for v in 1..=10 {
+            s.push(v);
+        }
+        for v in (1..=10).rev() {
+            assert_eq!(s.pop(), Some(v));
+        }
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_conservation_and_no_leak() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let s: LlscStack<McasWord> = LlscStack::new();
+        let census = std::sync::Arc::clone(s.heap().census());
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let (s, sum, count) = (&s, &sum, &count);
+                scope.spawn(move || {
+                    for i in 0..2_000u64 {
+                        s.push(t * 2_000 + i + 1);
+                        if i % 2 == 0 {
+                            if let Some(v) = s.pop() {
+                                sum.fetch_add(v, Ordering::Relaxed);
+                                count.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        while let Some(v) = s.pop() {
+            sum.fetch_add(v, Ordering::Relaxed);
+            count.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = 8_000u64;
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        drop(s);
+        assert_eq!(census.live(), 0);
+    }
+
+    #[test]
+    fn drop_with_contents_frees_all() {
+        let census;
+        {
+            let s: LlscStack<McasWord> = LlscStack::new();
+            census = std::sync::Arc::clone(s.heap().census());
+            for v in 0..1_000 {
+                s.push(v);
+            }
+        }
+        assert_eq!(census.live(), 0);
+    }
+}

@@ -1,0 +1,468 @@
+//! A lock-free skip-list set, LFRC-managed — the paper's \[16\] citation
+//! (Pugh, *Concurrent maintenance of skip lists*) realized under the
+//! methodology.
+//!
+//! Same design vocabulary as [`set`](crate::set): a node carries **one**
+//! deleted-mark word, and every structural update at every level is a
+//! pointer×word DCAS (`dcas_ptr_word`) that swings `pred.next[lvl]`
+//! atomically with validating `pred.marked == 0` — no pointer tagging,
+//! no per-level locks. Compared to Herlihy–Shavit's lock-free skip list
+//! (which needs a mark bit in *each* level's pointer), DCAS lets one
+//! mark govern the whole tower: a node is logically in the set iff it is
+//! reachable at level 0 and unmarked.
+//!
+//! * `insert` — choose a geometric tower height, link level 0 (the
+//!   linearization point), then index the upper levels best-effort;
+//! * `remove` — CAS the mark (linearization point), then best-effort
+//!   unlink at every level (finds help);
+//! * `contains` — standard top-down descent, skipping marked nodes.
+//!
+//! Garbage stays cycle-free: all tower pointers aim forward (toward
+//! larger keys), so step 3 of the methodology holds untouched.
+
+use std::fmt;
+
+use lfrc_core::{DcasWord, Heap, Links, Local, PtrField, SharedField};
+
+use crate::set::MAX_KEY;
+
+/// Maximum tower height (supports ~2³² elements at p = 1/2).
+pub const MAX_HEIGHT: usize = 16;
+
+const HEAD_KEY: u64 = 0;
+const TAIL_KEY: u64 = u64::MAX;
+
+#[inline]
+fn encode_key(k: u64) -> u64 {
+    assert!(k < MAX_KEY, "skip-list keys must be < MAX_KEY");
+    k + 1
+}
+
+/// A skip-list node: encoded key, one mark word, and a tower of links.
+pub struct SkipNode<W: DcasWord> {
+    key: u64,
+    /// 0 = live, 1 = logically deleted (governs the whole tower).
+    marked: W,
+    /// `next[0]` is the full list; higher levels are the index.
+    next: Vec<PtrField<SkipNode<W>, W>>,
+}
+
+impl<W: DcasWord> Links<W> for SkipNode<W> {
+    fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<Self, W>)) {
+        for field in &self.next {
+            f(field);
+        }
+    }
+}
+
+impl<W: DcasWord> fmt::Debug for SkipNode<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipNode")
+            .field("key", &self.key)
+            .field("height", &self.next.len())
+            .field("marked", &(self.marked.load() == 1))
+            .finish()
+    }
+}
+
+impl<W: DcasWord> SkipNode<W> {
+    fn new(key: u64, height: usize) -> Self {
+        SkipNode {
+            key,
+            marked: W::new(0),
+            next: (0..height).map(|_| PtrField::null()).collect(),
+        }
+    }
+}
+
+/// A lock-free ordered set backed by a skip list, memory-managed by LFRC.
+///
+/// # Example
+///
+/// ```
+/// use lfrc_structures::LfrcSkipList;
+/// use lfrc_core::McasWord;
+///
+/// let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+/// for k in [5, 1, 9, 3] {
+///     assert!(s.insert(k));
+/// }
+/// assert!(s.contains(3));
+/// assert!(s.remove(3));
+/// assert!(!s.contains(3));
+/// assert_eq!(s.len(), 3);
+/// ```
+pub struct LfrcSkipList<W: DcasWord> {
+    head: SharedField<SkipNode<W>, W>,
+    heap: Heap<SkipNode<W>, W>,
+    seed: std::sync::atomic::AtomicU64,
+}
+
+impl<W: DcasWord> fmt::Debug for LfrcSkipList<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LfrcSkipList")
+            .field("census", self.heap.census())
+            .finish()
+    }
+}
+
+impl<W: DcasWord> Default for LfrcSkipList<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+type NodeRef<W> = Local<SkipNode<W>, W>;
+
+impl<W: DcasWord> LfrcSkipList<W> {
+    /// Creates an empty skip list (full-height head and tail sentinels).
+    pub fn new() -> Self {
+        let heap: Heap<SkipNode<W>, W> = Heap::new();
+        let tail = heap.alloc(SkipNode::new(TAIL_KEY, MAX_HEIGHT));
+        let head_node = heap.alloc(SkipNode::new(HEAD_KEY, MAX_HEIGHT));
+        for lvl in 0..MAX_HEIGHT {
+            head_node.next[lvl].store(Some(&tail));
+        }
+        drop(tail);
+        let list = LfrcSkipList {
+            head: SharedField::null(),
+            heap,
+            seed: std::sync::atomic::AtomicU64::new(0x853c49e6748fea9b),
+        };
+        list.head.store_consume(head_node);
+        list
+    }
+
+    /// The heap (census inspection).
+    pub fn heap(&self) -> &Heap<SkipNode<W>, W> {
+        &self.heap
+    }
+
+    /// Geometric tower height in `1..=MAX_HEIGHT` (p = 1/2).
+    fn random_height(&self) -> usize {
+        use std::sync::atomic::Ordering;
+        let mut x = self.seed.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        ((x.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    }
+
+    /// Swings `pred.next[lvl]` from `curr` to `new` iff `pred` is
+    /// unmarked — the DCAS that replaces per-level pointer marks.
+    fn swing(
+        pred: &NodeRef<W>,
+        lvl: usize,
+        curr: Option<&NodeRef<W>>,
+        new: Option<&NodeRef<W>>,
+    ) -> bool {
+        // Safety: `pred` is a counted reference (its cells are alive);
+        // `curr`/`new` are caller-held counted references or null.
+        unsafe {
+            lfrc_core::ops::dcas_ptr_word(
+                &pred.next[lvl],
+                &pred.marked,
+                Local::option_as_raw(curr),
+                0,
+                Local::option_as_raw(new),
+                0,
+            )
+        }
+    }
+
+    /// Top-down search: fills `preds`/`succs` per level with
+    /// `preds[l].key < ekey <= succs[l].key`, helping unlink marked nodes
+    /// along the way. Returns `None` and retries internally on conflicts.
+    #[allow(clippy::type_complexity)]
+    fn find(&self, ekey: u64) -> (Vec<NodeRef<W>>, Vec<NodeRef<W>>) {
+        'retry: loop {
+            let head = self.head.load().expect("head sentinel");
+            let mut preds: Vec<NodeRef<W>> = Vec::with_capacity(MAX_HEIGHT);
+            let mut succs: Vec<NodeRef<W>> = Vec::with_capacity(MAX_HEIGHT);
+            let mut pred = head;
+            for lvl in (0..MAX_HEIGHT).rev() {
+                let mut curr = match pred.next[lvl].load() {
+                    Some(c) => c,
+                    None => {
+                        // A partially-linked tower level: treat as tail
+                        // (only possible transiently during inserts).
+                        continue 'retry;
+                    }
+                };
+                loop {
+                    // Help unlink marked nodes at this level.
+                    while curr.marked.load() == 1 {
+                        let succ = match curr.next[lvl].load() {
+                            Some(s) => s,
+                            None => continue 'retry,
+                        };
+                        if !Self::swing(&pred, lvl, Some(&curr), Some(&succ)) {
+                            continue 'retry;
+                        }
+                        curr = succ;
+                    }
+                    if curr.key >= ekey {
+                        break;
+                    }
+                    let next = match curr.next[lvl].load() {
+                        Some(n) => n,
+                        None => continue 'retry,
+                    };
+                    pred = curr;
+                    curr = next;
+                }
+                preds.push(pred.clone());
+                succs.push(curr);
+                // `pred` carries down to the next level.
+            }
+            // Stored top-down; reverse so index = level.
+            preds.reverse();
+            succs.reverse();
+            return (preds, succs);
+        }
+    }
+
+    /// Inserts `key`; `false` if already present.
+    pub fn insert(&self, key: u64) -> bool {
+        let ekey = encode_key(key);
+        let height = self.random_height();
+        loop {
+            let (preds, succs) = self.find(ekey);
+            if succs[0].key == ekey {
+                return false;
+            }
+            let node = self.heap.alloc(SkipNode::new(ekey, height));
+            // Prepare the whole tower before publication.
+            for lvl in 0..height {
+                node.next[lvl].store(Some(&succs[lvl]));
+            }
+            // Level 0 is the linearization point.
+            if !Self::swing(&preds[0], 0, Some(&succs[0]), Some(&node)) {
+                continue; // node drops and is freed; retry from scratch
+            }
+            // Index the upper levels (best-effort; re-find on conflict).
+            for lvl in 1..height {
+                loop {
+                    if node.marked.load() == 1 {
+                        return true; // concurrently removed: stop indexing
+                    }
+                    let (preds, succs) = self.find(ekey);
+                    if succs
+                        .get(lvl)
+                        .map(|s| Local::ptr_eq(s, &node))
+                        .unwrap_or(false)
+                    {
+                        break; // someone (or an earlier pass) linked it
+                    }
+                    // Retarget this level's forward pointer, then link.
+                    node.next[lvl].store(Some(&succs[lvl]));
+                    if Self::swing(&preds[lvl], lvl, Some(&succs[lvl]), Some(&node)) {
+                        break;
+                    }
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Removes `key`; `false` if absent.
+    pub fn remove(&self, key: u64) -> bool {
+        let ekey = encode_key(key);
+        loop {
+            let (_preds, succs) = self.find(ekey);
+            if succs[0].key != ekey {
+                return false;
+            }
+            let victim = &succs[0];
+            // Linearization point: the mark.
+            if !victim.marked.compare_and_swap(0, 1) {
+                // Another remover got it; re-find to observe the unlink.
+                continue;
+            }
+            // Best-effort physical unlink at every level (top-down);
+            // concurrent finds help with whatever we miss.
+            let _ = self.find(ekey);
+            return true;
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        let ekey = encode_key(key);
+        let mut pred = self.head.load().expect("head sentinel");
+        for lvl in (0..MAX_HEIGHT).rev() {
+            let mut curr = match pred.next[lvl].load() {
+                Some(c) => c,
+                None => continue,
+            };
+            while curr.key < ekey {
+                let next = match curr.next[lvl].load() {
+                    Some(n) => n,
+                    None => break,
+                };
+                pred = curr;
+                curr = next;
+            }
+            if curr.key == ekey {
+                return curr.marked.load() == 0;
+            }
+        }
+        false
+    }
+
+    /// Number of live keys (O(n) level-0 walk; diagnostics).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut curr = self.head.load().expect("head sentinel");
+        loop {
+            let next = curr.next[0].load();
+            let Some(next) = next else { break };
+            if next.key != TAIL_KEY && next.marked.load() == 0 {
+                n += 1;
+            }
+            curr = next;
+        }
+        n
+    }
+
+    /// `true` if no live keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrc_core::McasWord;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_semantics() {
+        let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+        assert!(s.is_empty());
+        for k in [50, 10, 90, 30, 70] {
+            assert!(s.insert(k));
+        }
+        assert!(!s.insert(50));
+        assert_eq!(s.len(), 5);
+        for k in [10, 30, 50, 70, 90] {
+            assert!(s.contains(k));
+        }
+        assert!(!s.contains(40));
+        assert!(s.remove(50));
+        assert!(!s.remove(50));
+        assert!(!s.contains(50));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn large_sequential_no_leak() {
+        let census;
+        {
+            let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+            census = std::sync::Arc::clone(s.heap().census());
+            for k in 0..2_000u64 {
+                s.insert((k * 2_654_435_761) % 100_000);
+            }
+            let before = s.len();
+            assert!(before > 1_500, "hash spread should mostly be distinct");
+            for k in 0..2_000u64 {
+                s.remove((k * 2_654_435_761) % 100_000);
+            }
+            assert!(s.is_empty());
+        }
+        assert_eq!(census.live(), 0, "skip list leaked");
+    }
+
+    #[test]
+    fn towers_index_correctly() {
+        // Insert ascending keys; contains must find every one through the
+        // multi-level descent (exercises upper-level links).
+        let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+        for k in 0..512u64 {
+            s.insert(k);
+        }
+        for k in 0..512u64 {
+            assert!(s.contains(k), "lost key {k}");
+        }
+        assert_eq!(s.len(), 512);
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges() {
+        const THREADS: usize = 4;
+        const PER: u64 = 400;
+        let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (s, barrier) = (&s, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let base = t as u64 * PER;
+                    for k in base..base + PER {
+                        assert!(s.insert(k));
+                    }
+                    for k in (base..base + PER).step_by(2) {
+                        assert!(s.remove(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), THREADS * PER as usize / 2);
+        for k in 0..THREADS as u64 * PER {
+            assert_eq!(s.contains(k), k % 2 == 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_contended_key_space() {
+        const THREADS: usize = 4;
+        const OPS: u64 = 1_000;
+        const KEYS: u64 = 16;
+        let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+        let net = AtomicU64::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (s, net, barrier) = (&s, &net, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut x = (t as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1;
+                    for _ in 0..OPS {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % KEYS;
+                        if x & 1 == 0 {
+                            if s.insert(k) {
+                                net.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if s.remove(k) {
+                            net.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len() as u64, net.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn drop_frees_everything() {
+        let census;
+        {
+            let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+            census = std::sync::Arc::clone(s.heap().census());
+            for k in 0..500 {
+                s.insert(k);
+            }
+            for k in (0..500).step_by(3) {
+                s.remove(k);
+            }
+        }
+        assert_eq!(census.live(), 0);
+    }
+}

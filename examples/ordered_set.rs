@@ -1,0 +1,94 @@
+//! A concurrent membership service on the LFRC ordered set.
+//!
+//! Demonstrates the extension structure (`LfrcOrderedSet`): a sorted
+//! lock-free list whose deletions are DCAS-validated instead of
+//! pointer-tagged (pointer arithmetic being off-limits under LFRC
+//! compliance). Several "session" threads register and deregister ids
+//! while an auditor continuously checks membership; at the end, the set
+//! is exactly the registrations that were never deregistered, and every
+//! node the set ever allocated has been returned to the allocator.
+//!
+//! Run: `cargo run --release --example ordered_set`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use lfrc_core::McasWord;
+use lfrc_structures::LfrcOrderedSet;
+
+const WORKERS: usize = 4;
+const SESSIONS_PER_WORKER: u64 = 1_000;
+
+fn main() {
+    let set: LfrcOrderedSet<McasWord> = LfrcOrderedSet::new();
+    let done = AtomicBool::new(false);
+    let audits = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Session workers: register an id, do "work", deregister most.
+        for w in 0..WORKERS as u64 {
+            let set = &set;
+            s.spawn(move || {
+                for i in 0..SESSIONS_PER_WORKER {
+                    let id = w * SESSIONS_PER_WORKER + i;
+                    assert!(set.insert(id), "fresh id must insert");
+                    // Sessions divisible by 10 stay registered forever.
+                    if id % 10 != 0 {
+                        assert!(set.remove(id), "own id must remove");
+                    }
+                }
+            });
+        }
+        // Auditor: hammers membership queries while the churn runs.
+        {
+            let (set, done, audits) = (&set, &done, &audits);
+            s.spawn(move || {
+                let mut k = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    std::hint::black_box(set.contains(k % (WORKERS as u64 * SESSIONS_PER_WORKER)));
+                    k += 1;
+                    audits.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Let the scope's worker threads finish, then stop the auditor.
+        // (Scoped threads join at scope end; flag first from a watcher.)
+        s.spawn(|| {
+            // Watch for completion: every permanent id present.
+            let total = WORKERS as u64 * SESSIONS_PER_WORKER;
+            loop {
+                let mut all = true;
+                for id in (0..total).step_by(10) {
+                    if !set.contains(id) {
+                        all = false;
+                        break;
+                    }
+                }
+                if all {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+
+    let expected = WORKERS as u64 * SESSIONS_PER_WORKER / 10;
+    println!("permanent registrations: {} (expected {expected})", set.len());
+    assert_eq!(set.len() as u64, expected);
+    println!("audit queries answered during churn: {}", audits.load(Ordering::Relaxed));
+
+    // Every id divisible by 10 is in; everything else is out.
+    for id in 0..WORKERS as u64 * SESSIONS_PER_WORKER {
+        assert_eq!(set.contains(id), id % 10 == 0);
+    }
+
+    let census = std::sync::Arc::clone(set.heap().census());
+    println!(
+        "allocated {} nodes over the run; {} currently live",
+        census.allocs(),
+        census.live()
+    );
+    drop(set);
+    assert_eq!(census.live(), 0);
+    println!("set dropped: every node returned to the allocator. done.");
+}

@@ -1,0 +1,78 @@
+//! The six-step LFRC transformation, narrated on a live example.
+//!
+//! The paper's §3 gives a recipe for turning a GC-dependent lock-free
+//! structure into a GC-independent one. This example runs the *same
+//! workload* through the Treiber stack before (GC-dependent, epoch
+//! reclamation standing in for the collector) and after (LFRC) the
+//! transformation, narrating what each step contributed and verifying
+//! the result behaves identically.
+//!
+//! Run: `cargo run --release --example transform_demo`
+
+use lfrc_core::McasWord;
+use lfrc_structures::{ConcurrentStack, GcStack, LfrcStack};
+
+fn churn(s: &dyn ConcurrentStack, label: &str) -> u64 {
+    let mut checksum = 0u64;
+    for round in 0..3u64 {
+        for v in 0..1_000 {
+            s.push(v * 7 + round);
+        }
+        while let Some(v) = s.pop() {
+            checksum = checksum.wrapping_add(v).rotate_left(1);
+        }
+    }
+    println!("  [{label}] workload checksum = {checksum:#x}");
+    checksum
+}
+
+fn main() {
+    println!("== BEFORE: the GC-dependent Treiber stack ==");
+    println!(
+        "Written as if a garbage collector existed: pop unlinks a node\n\
+         and simply forgets it. Our epoch-based reclaimer plays the GC:\n\
+         it defers the free until no reader can still be looking.\n"
+    );
+    let gc = GcStack::new();
+    let before = churn(&gc, "gc-dependent");
+    lfrc_structures::flush_thread(gc.collector());
+    let stats = gc.collector().stats();
+    println!(
+        "  collector: {} nodes retired, {} freed, {} pending\n",
+        stats.retired,
+        stats.freed,
+        stats.pending()
+    );
+
+    println!("== THE SIX STEPS (paper §3) ==");
+    println!(
+        "  1. add an `rc` field            -> LfrcBox header (rc cell)\n\
+         2. provide LFRCDestroy          -> `Links::for_each_link` impl\n\
+         3. ensure cycle-free garbage    -> popped stack nodes chain\n\
+            forward only: free for stacks (Snark needed null sentinels)\n\
+         4. correctly-typed operations   -> Rust generics\n\
+         5. replace pointer operations   -> load/store/compare_and_set\n\
+            wrappers over LFRCLoad/LFRCStore/LFRCCAS\n\
+         6. manage local variables       -> `Local` RAII: Clone = LFRCCopy,\n\
+            Drop = LFRCDestroy\n"
+    );
+
+    println!("== AFTER: the LFRC (GC-independent) Treiber stack ==");
+    let lfrc: LfrcStack<McasWord> = LfrcStack::new();
+    let after = churn(&lfrc, "lfrc");
+    println!(
+        "  census: {} allocated, {} freed, {} live",
+        lfrc.heap().census().allocs(),
+        lfrc.heap().census().frees(),
+        lfrc.heap().census().live()
+    );
+
+    assert_eq!(before, after, "the transformation must not change behaviour");
+    assert_eq!(lfrc.heap().census().live(), 0);
+    println!(
+        "\nsame checksum, zero live nodes, and no GC anywhere in the\n\
+         LFRC stack's world: memory went straight back to the allocator\n\
+         the moment each node's count drained. That is the paper's\n\
+         contribution, end to end."
+    );
+}

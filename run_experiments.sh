@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table in EXPERIMENTS.md.
+# Usage: ./run_experiments.sh [output-dir]
+set -euo pipefail
+
+out="${1:-experiment-results}"
+mkdir -p "$out"
+
+echo "Building release binaries..."
+cargo build --release -p lfrc-bench --bins
+
+for exp in exp1_ops exp2_deque exp3_memory exp4_stall exp5_aba \
+           exp6_cycles exp7_dcas exp8_destroy exp9_breadth \
+           exp10_extensions exp11_latency; do
+    echo "=== $exp ==="
+    cargo run --release -q -p lfrc-bench --bin "$exp" | tee "$out/$exp.txt"
+    echo
+done
+
+echo "All experiment outputs written to $out/"

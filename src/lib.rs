@@ -1,0 +1,29 @@
+//! # lfrc-repro — Lock-Free Reference Counting (PODC 2001), reproduced
+//!
+//! This meta-crate re-exports the whole reproduction of Detlefs, Martin,
+//! Moir & Steele, *Lock-Free Reference Counting*, PODC 2001, so examples
+//! and downstream users can depend on one crate:
+//!
+//! * [`reclaim`] — epoch-based reclamation + leak arena (the simulated
+//!   "GC environment" for the GC-dependent originals);
+//! * [`dcas`] — the software DCAS/MCAS substrate (the paper assumes
+//!   hardware DCAS; see DESIGN.md §2 for the substitution argument);
+//! * [`core`] — **the paper's contribution**: the LFRC operations
+//!   (Figure 2) plus a safe RAII layer;
+//! * [`deque`] — the Snark deque (the paper's §4 example), in
+//!   GC-dependent and LFRC forms, published and repaired pops;
+//! * [`structures`] — Treiber stack and Michael–Scott queue, GC and LFRC
+//!   forms (the paper's breadth claim);
+//! * [`baselines`] — Valois-style freelist RC and locked structures;
+//! * [`harness`] — workload/measurement machinery for EXPERIMENTS.md.
+//!
+//! See README.md for a guided tour and `examples/` for runnable entry
+//! points (start with `cargo run --release --example quickstart`).
+
+pub use lfrc_baselines as baselines;
+pub use lfrc_core as core;
+pub use lfrc_dcas as dcas;
+pub use lfrc_deque as deque;
+pub use lfrc_harness as harness;
+pub use lfrc_reclaim as reclaim;
+pub use lfrc_structures as structures;

@@ -1,0 +1,306 @@
+//! Property-based tests: every structure against its sequential model.
+//!
+//! Strategy: generate arbitrary operation sequences and replay them
+//! simultaneously against the LFRC structure and a `std` model
+//! (`VecDeque`/`Vec`); every observable result must match, and the
+//! census must be empty after teardown (invariant I3). Sequential
+//! equivalence plus the concurrent conservation tests in
+//! `integration.rs` together cover the paper's correctness story:
+//! the *transformation* must not change behaviour.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use lfrc_repro::core::{Heap, Links, LockWord, McasWord, PtrField, SharedField};
+use lfrc_repro::deque::{
+    ConcurrentDeque, GcSnark, GcSnarkRepaired, LfrcSnark, LfrcSnarkRepaired,
+};
+use lfrc_repro::structures::{ConcurrentQueue, ConcurrentStack, LfrcQueue, LfrcStack};
+
+#[derive(Debug, Clone, Copy)]
+enum DqOp {
+    PushLeft(u64),
+    PushRight(u64),
+    PopLeft,
+    PopRight,
+}
+
+fn dq_ops() -> impl Strategy<Value = Vec<DqOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(DqOp::PushLeft),
+            (0u64..1_000_000).prop_map(DqOp::PushRight),
+            Just(DqOp::PopLeft),
+            Just(DqOp::PopRight),
+        ],
+        0..200,
+    )
+}
+
+fn check_deque_against_model(d: &dyn ConcurrentDeque, ops: &[DqOp]) {
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for &op in ops {
+        match op {
+            DqOp::PushLeft(v) => {
+                d.push_left(v);
+                model.push_front(v);
+            }
+            DqOp::PushRight(v) => {
+                d.push_right(v);
+                model.push_back(v);
+            }
+            DqOp::PopLeft => assert_eq!(d.pop_left(), model.pop_front(), "pop_left diverged"),
+            DqOp::PopRight => assert_eq!(d.pop_right(), model.pop_back(), "pop_right diverged"),
+        }
+    }
+    // Drain both and compare the remainder.
+    while let Some(expected) = model.pop_front() {
+        assert_eq!(d.pop_left(), Some(expected), "drain diverged");
+    }
+    assert_eq!(d.pop_left(), None);
+    assert_eq!(d.pop_right(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lfrc_snark_matches_vecdeque(ops in dq_ops()) {
+        let d: LfrcSnark<McasWord> = LfrcSnark::new();
+        let census = std::sync::Arc::clone(d.heap().census());
+        check_deque_against_model(&d, &ops);
+        drop(d);
+        prop_assert_eq!(census.live(), 0, "leak detected");
+    }
+
+    #[test]
+    fn lfrc_snark_repaired_matches_vecdeque(ops in dq_ops()) {
+        let d: LfrcSnarkRepaired<McasWord> = LfrcSnarkRepaired::new();
+        let census = std::sync::Arc::clone(d.heap().census());
+        check_deque_against_model(&d, &ops);
+        drop(d);
+        prop_assert_eq!(census.live(), 0, "leak detected");
+    }
+
+    #[test]
+    fn gc_snark_matches_vecdeque(ops in dq_ops()) {
+        let d: GcSnark<McasWord> = GcSnark::new();
+        check_deque_against_model(&d, &ops);
+    }
+
+    #[test]
+    fn gc_snark_repaired_matches_vecdeque(ops in dq_ops()) {
+        let d: GcSnarkRepaired<McasWord> = GcSnarkRepaired::new();
+        check_deque_against_model(&d, &ops);
+    }
+
+    #[test]
+    fn lfrc_snark_lock_strategy_matches_vecdeque(ops in dq_ops()) {
+        let d: LfrcSnark<LockWord> = LfrcSnark::new();
+        check_deque_against_model(&d, &ops);
+    }
+
+    #[test]
+    fn lfrc_stack_matches_vec(ops in prop::collection::vec(
+        prop_oneof![(0u64..1_000_000).prop_map(Some), Just(None)], 0..200)
+    ) {
+        let s: LfrcStack<McasWord> = LfrcStack::new();
+        let census = std::sync::Arc::clone(s.heap().census());
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => { s.push(v); model.push(v); }
+                None => prop_assert_eq!(s.pop(), model.pop()),
+            }
+        }
+        while let Some(expected) = model.pop() {
+            prop_assert_eq!(s.pop(), Some(expected));
+        }
+        drop(s);
+        prop_assert_eq!(census.live(), 0);
+    }
+
+    #[test]
+    fn lfrc_queue_matches_vecdeque(ops in prop::collection::vec(
+        prop_oneof![(0u64..1_000_000).prop_map(Some), Just(None)], 0..200)
+    ) {
+        let q: LfrcQueue<McasWord> = LfrcQueue::new();
+        let census = std::sync::Arc::clone(q.heap().census());
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => { q.enqueue(v); model.push_back(v); }
+                None => prop_assert_eq!(q.dequeue(), model.pop_front()),
+            }
+        }
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(q.dequeue(), Some(expected));
+        }
+        drop(q);
+        prop_assert_eq!(census.live(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference-count bookkeeping properties on arbitrary object graphs
+// ---------------------------------------------------------------------------
+
+struct GraphNode {
+    #[allow(dead_code)]
+    id: u64,
+    a: PtrField<GraphNode, McasWord>,
+    b: PtrField<GraphNode, McasWord>,
+}
+
+impl Links<McasWord> for GraphNode {
+    fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<GraphNode, McasWord>)) {
+        f(&self.a);
+        f(&self.b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Build a random acyclic two-successor graph (each node links only to
+    /// strictly older nodes), hold it by a random set of roots, then drop
+    /// everything: the census must return to zero — the paper's liveness
+    /// guarantee under arbitrary (cycle-free) sharing.
+    #[test]
+    fn random_dags_are_fully_reclaimed(
+        links in prop::collection::vec((0usize..64, 0usize..64), 1..64),
+        root_picks in prop::collection::vec(0usize..64, 1..8),
+    ) {
+        let heap: Heap<GraphNode, McasWord> = Heap::new();
+        let census = std::sync::Arc::clone(heap.census());
+        {
+            let mut nodes = Vec::new();
+            for (i, (la, lb)) in links.iter().enumerate() {
+                let n = heap.alloc(GraphNode {
+                    id: i as u64,
+                    a: PtrField::null(),
+                    b: PtrField::null(),
+                });
+                // Acyclic: link only to strictly older nodes.
+                if i > 0 {
+                    n.a.store(nodes.get(la % i));
+                    n.b.store(nodes.get(lb % i));
+                }
+                nodes.push(n);
+            }
+            // Keep a subset via roots, drop the locals, then the roots.
+            let roots: Vec<SharedField<GraphNode, McasWord>> = root_picks
+                .iter()
+                .map(|&r| {
+                    let f = SharedField::null();
+                    f.store(nodes.get(r % nodes.len()));
+                    f
+                })
+                .collect();
+            drop(nodes);
+            // Some nodes may already be gone (unreachable from roots).
+            prop_assert!(census.live() <= links.len() as u64);
+            drop(roots);
+        }
+        prop_assert_eq!(census.live(), 0, "acyclic graph leaked");
+    }
+
+    /// Clone/drop storms on a single object leave the count exact.
+    #[test]
+    fn clone_storms_balance(clones in 1usize..64) {
+        let heap: Heap<GraphNode, McasWord> = Heap::new();
+        let n = heap.alloc(GraphNode { id: 0, a: PtrField::null(), b: PtrField::null() });
+        let copies: Vec<_> = (0..clones).map(|_| n.clone()).collect();
+        prop_assert_eq!(lfrc_repro::core::Local::ref_count(&n), clones as u64 + 1);
+        drop(copies);
+        prop_assert_eq!(lfrc_repro::core::Local::ref_count(&n), 1);
+        drop(n);
+        prop_assert_eq!(heap.census().live(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension structures: ordered set vs BTreeSet, LL/SC stack vs Vec
+// ---------------------------------------------------------------------------
+
+use lfrc_repro::structures::{LfrcOrderedSet, LfrcSkipList, LlscStack};
+
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn set_ops() -> impl Strategy<Value = Vec<SetOp>> {
+    // Small key space maximizes insert/remove collisions.
+    let key = 0u64..24;
+    prop::collection::vec(
+        prop_oneof![
+            key.clone().prop_map(SetOp::Insert),
+            key.clone().prop_map(SetOp::Remove),
+            key.prop_map(SetOp::Contains),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ordered_set_matches_btreeset(ops in set_ops()) {
+        let set: LfrcOrderedSet<McasWord> = LfrcOrderedSet::new();
+        let census = std::sync::Arc::clone(set.heap().census());
+        let mut model = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(k) => prop_assert_eq!(set.insert(k), model.insert(k)),
+                SetOp::Remove(k) => prop_assert_eq!(set.remove(k), model.remove(&k)),
+                SetOp::Contains(k) => prop_assert_eq!(set.contains(k), model.contains(&k)),
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        drop(set);
+        prop_assert_eq!(census.live(), 0, "set leaked (marked stragglers?)");
+    }
+
+    #[test]
+    fn skiplist_matches_btreeset(ops in set_ops()) {
+        let set: LfrcSkipList<McasWord> = LfrcSkipList::new();
+        let census = std::sync::Arc::clone(set.heap().census());
+        let mut model = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(k) => prop_assert_eq!(set.insert(k), model.insert(k)),
+                SetOp::Remove(k) => prop_assert_eq!(set.remove(k), model.remove(&k)),
+                SetOp::Contains(k) => prop_assert_eq!(set.contains(k), model.contains(&k)),
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        drop(set);
+        prop_assert_eq!(census.live(), 0, "skip list leaked");
+    }
+
+    #[test]
+    fn llsc_stack_matches_vec(ops in prop::collection::vec(
+        prop_oneof![(0u64..1_000_000).prop_map(Some), Just(None)], 0..200)
+    ) {
+        use lfrc_repro::structures::ConcurrentStack;
+        let s: LlscStack<McasWord> = LlscStack::new();
+        let census = std::sync::Arc::clone(s.heap().census());
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => { s.push(v); model.push(v); }
+                None => prop_assert_eq!(s.pop(), model.pop()),
+            }
+        }
+        while let Some(expected) = model.pop() {
+            prop_assert_eq!(s.pop(), Some(expected));
+        }
+        drop(s);
+        prop_assert_eq!(census.live(), 0);
+    }
+}

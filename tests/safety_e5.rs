@@ -1,0 +1,91 @@
+//! Integration form of experiment E5: the paper's central safety claim.
+//!
+//! `LFRCLoad`'s DCAS must *never* touch a freed object's count; the naive
+//! CAS-only protocol does. Quarantine mode turns the latter's corruption
+//! into a counted event (see `lfrc_core::diag`).
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use lfrc_repro::core::{DcasWord, Heap, Links, McasWord, PtrField, SharedField};
+
+struct Leaf {
+    #[allow(dead_code)]
+    id: u64,
+}
+
+impl<W: DcasWord> Links<W> for Leaf {
+    fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, W>)) {}
+}
+
+fn swing_race(naive: bool, swings: u64) -> u64 {
+    let heap: Heap<Leaf, McasWord> = Heap::new();
+    heap.census().set_quarantine(true);
+    let root: SharedField<Leaf, McasWord> = SharedField::null();
+    root.store_consume(heap.alloc(Leaf { id: 0 }));
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        {
+            let (root, heap, done) = (&root, &heap, &done);
+            s.spawn(move || {
+                for i in 1..=swings {
+                    let fresh = heap.alloc(Leaf { id: i });
+                    root.store(Some(&fresh));
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..2 {
+            let (root, done) = (&root, &done);
+            s.spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    if naive {
+                        let mut dest: *mut _ = ptr::null_mut();
+                        // Safety (experimental): quarantine on.
+                        unsafe {
+                            lfrc_repro::core::ops::load_naive_cas_gapped(
+                                root,
+                                &mut dest,
+                                &std::thread::yield_now,
+                            );
+                            lfrc_repro::core::ops::destroy_tolerant(dest);
+                        }
+                    } else {
+                        std::hint::black_box(root.load());
+                    }
+                }
+            });
+        }
+    });
+    root.store(None);
+    let events = heap.census().rc_on_freed();
+    // Safety: all threads joined.
+    unsafe { heap.census().drain_quarantine() };
+    events
+}
+
+#[test]
+fn lfrc_load_never_touches_freed_memory() {
+    // The paper's guarantee is absolute: assert exactly zero over a
+    // substantial adversarial run.
+    let events = swing_race(false, 30_000);
+    assert_eq!(events, 0, "LFRCLoad touched a freed object's count");
+}
+
+#[test]
+fn naive_cas_load_does_touch_freed_memory() {
+    // The defect is probabilistic; retry a few rounds before declaring
+    // the counterexample failed to manifest.
+    let mut total = 0;
+    for _ in 0..5 {
+        total += swing_race(true, 30_000);
+        if total > 0 {
+            break;
+        }
+    }
+    assert!(
+        total > 0,
+        "expected the CAS-only protocol to hit freed memory at least once"
+    );
+}

@@ -1,0 +1,139 @@
+//! Long-running soak tests — opt-in via `cargo test -- --ignored`.
+//!
+//! The regular suite keeps each concurrent test under a few seconds so
+//! CI stays fast; these soaks run the same invariants (conservation I4,
+//! no-leak I3, zero rc-on-freed) for minutes of sustained churn, which
+//! is where epoch lag, descriptor recycling, and census accounting would
+//! drift if they were ever going to.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lfrc_repro::core::McasWord;
+use lfrc_repro::deque::{ConcurrentDeque, LfrcSnarkRepaired};
+use lfrc_repro::structures::{ConcurrentQueue, ConcurrentStack, LfrcQueue, LfrcSkipList, LfrcStack};
+
+const SOAK: Duration = Duration::from_secs(60);
+
+#[test]
+#[ignore = "soak test: ~1 minute of sustained deque churn"]
+fn deque_soak_conserves_and_reclaims() {
+    let d: LfrcSnarkRepaired<McasWord> = LfrcSnarkRepaired::new();
+    let census = Arc::clone(d.heap().census());
+    let pushed = AtomicU64::new(0);
+    let popped = AtomicU64::new(0);
+    let deadline = Instant::now() + SOAK;
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let (d, pushed, popped) = (&d, &pushed, &popped);
+            s.spawn(move || {
+                let mut x = t.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+                let mut i = 0u64;
+                while Instant::now() < deadline {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    match x % 4 {
+                        0 => {
+                            d.push_left(1 + x % 1000);
+                            pushed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        1 => {
+                            d.push_right(1 + x % 1000);
+                            pushed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        2 => {
+                            if d.pop_left().is_some() {
+                                popped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            if d.pop_right().is_some() {
+                                popped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    i += 1;
+                    // Bounded footprint even under push-heavy drift.
+                    if i % 10_000 == 0 {
+                        while d.pop_left().is_some() {
+                            popped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut drained = 0u64;
+    while d.pop_left().is_some() {
+        drained += 1;
+    }
+    assert_eq!(
+        pushed.load(Ordering::Relaxed),
+        popped.load(Ordering::Relaxed) + drained,
+        "items lost or duplicated during soak"
+    );
+    drop(d);
+    assert_eq!(census.live(), 0, "soak leaked nodes");
+    lfrc_repro::dcas::quiesce();
+}
+
+#[test]
+#[ignore = "soak test: ~1 minute of mixed-structure churn in one process"]
+fn mixed_structures_soak() {
+    let stack: LfrcStack<McasWord> = LfrcStack::new();
+    let queue: LfrcQueue<McasWord> = LfrcQueue::new();
+    let skip: LfrcSkipList<McasWord> = LfrcSkipList::new();
+    let stack_census = Arc::clone(stack.heap().census());
+    let queue_census = Arc::clone(queue.heap().census());
+    let skip_census = Arc::clone(skip.heap().census());
+    let deadline = Instant::now() + SOAK;
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let (stack, queue, skip) = (&stack, &queue, &skip);
+            s.spawn(move || {
+                let mut x = (t + 1).wrapping_mul(0x2545f4914f6cdd1d) | 1;
+                while Instant::now() < deadline {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    match t % 3 {
+                        0 => {
+                            stack.push(x % 4096);
+                            if x & 1 == 0 {
+                                std::hint::black_box(stack.pop());
+                            }
+                        }
+                        1 => {
+                            queue.enqueue(x % 4096);
+                            if x & 1 == 0 {
+                                std::hint::black_box(queue.dequeue());
+                            }
+                        }
+                        _ => {
+                            let k = x % 256;
+                            if x & 1 == 0 {
+                                skip.insert(k);
+                            } else {
+                                skip.remove(k);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    while stack.pop().is_some() {}
+    while queue.dequeue().is_some() {}
+    drop((stack, queue, skip));
+    assert_eq!(stack_census.live(), 0);
+    assert_eq!(queue_census.live(), 0);
+    assert_eq!(skip_census.live(), 0);
+    lfrc_repro::dcas::quiesce();
+    assert_eq!(
+        lfrc_repro::dcas::emulation_stats().pending(),
+        0,
+        "emulator retired memory failed to drain at quiescence"
+    );
+}
