@@ -4,7 +4,7 @@
 //! locking, including performance bottlenecks, susceptibility to delays
 //! and failures, design complications, and, in real-time systems,
 //! priority inversion" (§1). These baselines supply the other side of
-//! those comparisons: a `parking_lot`-locked `VecDeque` behind each of
+//! those comparisons: a mutex-locked `VecDeque` behind each of
 //! the three structure traits.
 //!
 //! [`LockedDeque`] is generic over the same pause policy as the Snark
@@ -18,7 +18,23 @@ use std::marker::PhantomData;
 
 use lfrc_deque::{ConcurrentDeque, NoPause, PausePolicy, PauseSite};
 use lfrc_structures::{ConcurrentQueue, ConcurrentStack};
-use parking_lot::Mutex;
+
+/// A thin wrapper over `std::sync::Mutex` with `parking_lot`'s calling
+/// convention (`lock()` returns the guard directly). The baselines are
+/// panic-free in normal operation, so poisoning carries no information;
+/// a poisoned lock here means a test already failed, and we propagate.
+#[derive(Debug, Default)]
+struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
 
 /// A deque protected by a single mutex.
 pub struct LockedDeque<P: PausePolicy = NoPause> {

@@ -1,9 +1,9 @@
-//! Criterion companion to experiment E1: statistically rigorous
-//! per-operation costs of the LFRC layer over both DCAS strategies.
+//! Bench companion to experiment E1: per-operation costs of the LFRC
+//! layer over both DCAS strategies (internal minibench harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use lfrc_bench::Minibench;
 use lfrc_core::{DcasWord, Heap, Links, LockWord, McasWord, PtrField, SharedField};
 
 struct Leaf {
@@ -15,42 +15,46 @@ impl<W: DcasWord> Links<W> for Leaf {
     fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, W>)) {}
 }
 
-fn bench_strategy<W: DcasWord>(c: &mut Criterion) {
+fn bench_strategy<W: DcasWord>(c: &mut Minibench) {
     let name = W::strategy_name();
-    let mut g = c.benchmark_group(format!("e1/{name}"));
+    let mut g = c.group(format!("e1/{name}"));
 
     let cell = W::new(1);
-    g.bench_function("cell_load", |b| b.iter(|| black_box(cell.load())));
-    g.bench_function("cell_cas", |b| {
-        b.iter(|| black_box(cell.compare_and_swap(1, 1)))
+    g.bench_function("cell_load", || {
+        black_box(cell.load());
+    });
+    g.bench_function("cell_cas", || {
+        black_box(cell.compare_and_swap(1, 1));
     });
     let a = W::new(1);
     let bb = W::new(2);
-    g.bench_function("cell_dcas", |b| {
-        b.iter(|| black_box(W::dcas(&a, &bb, 1, 2, 1, 2)))
+    g.bench_function("cell_dcas", || {
+        black_box(W::dcas(&a, &bb, 1, 2, 1, 2));
     });
 
     let heap: Heap<Leaf, W> = Heap::new();
     let root: SharedField<Leaf, W> = SharedField::null();
     let node = heap.alloc(Leaf { payload: 7 });
     root.store(Some(&node));
-    g.bench_function("lfrc_load", |b| b.iter(|| black_box(root.load())));
-    g.bench_function("lfrc_store", |b| b.iter(|| root.store(Some(&node))));
-    g.bench_function("lfrc_copy_destroy", |b| b.iter(|| black_box(node.clone())));
-    g.bench_function("lfrc_cas", |b| {
-        b.iter(|| black_box(root.compare_and_set(Some(&node), Some(&node))))
+    g.bench_function("lfrc_load", || {
+        black_box(root.load());
     });
-    g.bench_function("lfrc_alloc_free", |b| {
-        b.iter(|| black_box(heap.alloc(Leaf { payload: 1 })))
+    g.bench_function("lfrc_store", || root.store(Some(&node)));
+    g.bench_function("lfrc_copy_destroy", || {
+        black_box(node.clone());
+    });
+    g.bench_function("lfrc_cas", || {
+        black_box(root.compare_and_set(Some(&node), Some(&node)));
+    });
+    g.bench_function("lfrc_alloc_free", || {
+        black_box(heap.alloc(Leaf { payload: 1 }));
     });
     root.store(None);
     g.finish();
 }
 
-fn benches(c: &mut Criterion) {
-    bench_strategy::<McasWord>(c);
-    bench_strategy::<LockWord>(c);
+fn main() {
+    let mut c = Minibench::from_args();
+    bench_strategy::<McasWord>(&mut c);
+    bench_strategy::<LockWord>(&mut c);
 }
-
-criterion_group!(e1, benches);
-criterion_main!(e1);

@@ -1,40 +1,31 @@
-//! Criterion companion to experiment E2: single-threaded Snark deque
+//! Bench companion to experiment E2: single-threaded Snark deque
 //! operation costs across all variants (the multi-threaded sweep lives in
 //! the `exp2_deque` binary, where thread counts and mixes are tabled).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use lfrc_bench::deque_suite_sequential;
+use lfrc_bench::{deque_suite_sequential, Minibench};
 
-fn benches(c: &mut Criterion) {
+fn main() {
+    let mut c = Minibench::from_args();
     for d in deque_suite_sequential() {
-        let mut g = c.benchmark_group(format!("e2/{}", d.impl_name()));
-        g.bench_function("push_pop_same_end", |b| {
-            b.iter(|| {
-                d.push_right(1);
-                black_box(d.pop_right())
-            })
+        let mut g = c.group(format!("e2/{}", d.impl_name()));
+        g.bench_function("push_pop_same_end", || {
+            d.push_right(1);
+            black_box(d.pop_right());
         });
-        g.bench_function("push_pop_fifo", |b| {
-            b.iter(|| {
-                d.push_right(1);
-                black_box(d.pop_left())
-            })
+        g.bench_function("push_pop_fifo", || {
+            d.push_right(1);
+            black_box(d.pop_left());
         });
         // Pre-filled so pops never hit the empty path.
         for v in 0..64 {
             d.push_left(v);
         }
-        g.bench_function("pop_push_refill", |b| {
-            b.iter(|| {
-                let v = d.pop_right().unwrap_or(0);
-                d.push_left(black_box(v));
-            })
+        g.bench_function("pop_push_refill", || {
+            let v = d.pop_right().unwrap_or(0);
+            d.push_left(black_box(v));
         });
         g.finish();
     }
 }
-
-criterion_group!(e2, benches);
-criterion_main!(e2);

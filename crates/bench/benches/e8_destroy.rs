@@ -1,9 +1,8 @@
-//! Criterion companion to experiment E8: the cost structure of eager vs.
+//! Bench companion to experiment E8: the cost structure of eager vs.
 //! incremental destruction (the length sweep with pause-time breakdown
 //! lives in the `exp8_destroy` binary).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use lfrc_bench::Minibench;
 use lfrc_core::{Backlog, DcasWord, Heap, Links, Local, McasWord, PtrField};
 
 struct ChainNode<W: DcasWord> {
@@ -37,33 +36,24 @@ fn build_chain(
     head
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
     const LEN: u64 = 10_000;
     let heap: Heap<ChainNode<McasWord>, McasWord> = Heap::new();
 
-    let mut g = c.benchmark_group("e8");
-    g.sample_size(10);
-    g.bench_function("eager_drop_10k_chain", |b| {
-        b.iter_batched(
-            || build_chain(&heap, LEN),
-            drop,
-            BatchSize::PerIteration,
-        )
-    });
-    g.bench_function("incremental_initial_pause_10k_chain", |b| {
+    let mut c = Minibench::from_args();
+    let mut g = c.group("e8");
+    g.bench_batched("eager_drop_10k_chain", || build_chain(&heap, LEN), drop);
+    {
         let backlog: Backlog<ChainNode<McasWord>, McasWord> = Backlog::new();
-        b.iter_batched(
+        g.bench_batched(
+            "incremental_initial_pause_10k_chain",
             || build_chain(&heap, LEN),
             |head| {
-                backlog.destroy_deferred(head); // measured: the O(1) pause
-                backlog.drain(); // not measured separately by criterion,
-                                 // but kept here so memory stays bounded
+                backlog.destroy_deferred(head); // the O(1) pause under test
+                backlog.drain(); // timed too (minibench times the whole
+                                 // routine), but kept so memory stays bounded
             },
-            BatchSize::PerIteration,
-        )
-    });
+        );
+    }
     g.finish();
 }
-
-criterion_group!(e8, benches);
-criterion_main!(e8);

@@ -1,34 +1,27 @@
-//! Criterion companion to experiment E9: single-threaded stack and queue
+//! Bench companion to experiment E9: single-threaded stack and queue
 //! round-trip costs across implementations (multi-threaded sweeps live in
 //! the `exp9_breadth` binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use lfrc_bench::{queue_suite, stack_suite};
+use lfrc_bench::{queue_suite, stack_suite, Minibench};
 
-fn benches(c: &mut Criterion) {
+fn main() {
+    let mut c = Minibench::from_args();
     for s in stack_suite() {
-        let mut g = c.benchmark_group(format!("e9/{}", s.impl_name()));
-        g.bench_function("push_pop", |b| {
-            b.iter(|| {
-                s.push(1);
-                black_box(s.pop())
-            })
+        let mut g = c.group(format!("e9/{}", s.impl_name()));
+        g.bench_function("push_pop", || {
+            s.push(1);
+            black_box(s.pop());
         });
         g.finish();
     }
     for q in queue_suite() {
-        let mut g = c.benchmark_group(format!("e9/{}", q.impl_name()));
-        g.bench_function("enqueue_dequeue", |b| {
-            b.iter(|| {
-                q.enqueue(1);
-                black_box(q.dequeue())
-            })
+        let mut g = c.group(format!("e9/{}", q.impl_name()));
+        g.bench_function("enqueue_dequeue", || {
+            q.enqueue(1);
+            black_box(q.dequeue());
         });
         g.finish();
     }
 }
-
-criterion_group!(e9, benches);
-criterion_main!(e9);

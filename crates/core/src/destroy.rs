@@ -40,6 +40,10 @@ pub unsafe fn destroy<T: Links<W>, W: DcasWord>(v: *mut LfrcBox<T, W>) {
         // Safety: each pointer on the stack carries one count we own.
         let obj = unsafe { &*p };
         obj.assert_alive();
+        // The decrement that may transfer ownership of the whole object —
+        // a preemption here races against concurrent LFRCLoads of fields
+        // still pointing at `p`.
+        lfrc_dcas::instrument::yield_point(lfrc_dcas::InstrSite::DestroyDecrement);
         if obj.rc.fetch_add(-1) == 1 {
             // Line 14: we destroyed the last reference; cascade into the
             // object's links (explicit stack instead of recursion).

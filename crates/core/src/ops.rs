@@ -89,6 +89,10 @@ pub unsafe fn load<T: Links<W>, W: DcasWord>(
             // guard keeps the memory mapped since.
             let obj = unsafe { &*word_to_ptr::<T, W>(aval) };
             let r = obj.rc.load(); // line 8
+            // The window between reading the count and the DCAS is where
+            // a CAS-only protocol breaks (§1) — the prime target for
+            // schedule exploration.
+            lfrc_dcas::instrument::yield_point(lfrc_dcas::InstrSite::LoadDcasWindow);
             // Line 9: increment the count *iff* the pointer still exists.
             if W::dcas(a.raw(), &obj.rc, aval, r, aval, r + 1) {
                 *dest = word_to_ptr(aval); // line 10

@@ -1,0 +1,172 @@
+//! Cross-crate yield points for deterministic schedule exploration.
+//!
+//! The LFRC safety argument is about *interleavings*: the weakened
+//! reference-count invariant must hold no matter where a thread is
+//! preempted. The windows where it could break are known and small — the
+//! `LFRCLoad` DCAS window, the destroy decrement, and the span between an
+//! MCAS descriptor's installation and its resolution — so those program
+//! points call [`yield_point`], and a scheduler (the `lfrc-sched` crate)
+//! installs a per-thread hook that turns each call into a deterministic
+//! context-switch opportunity.
+//!
+//! When no hook is installed (every production and ordinary-test thread),
+//! a yield point is one thread-local read and nothing else.
+//!
+//! This module lives in `lfrc-dcas` rather than in the scheduler crate so
+//! the instrumented crates (`lfrc-core`, `lfrc-deque`, and this one) need
+//! no dependency on the scheduler: the dependency arrow points from the
+//! tool to the code under test, never back.
+
+use std::cell::RefCell;
+
+/// An instrumented program point — the sites where schedule exploration
+/// may preempt a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InstrSite {
+    /// `LFRCLoad`: between reading the referent's count and attempting
+    /// the DCAS (Figure 2 lines 8–9) — the window the paper's whole
+    /// construction exists to make safe.
+    LoadDcasWindow,
+    /// `LFRCDestroy`: immediately before a reference-count decrement.
+    DestroyDecrement,
+    /// MCAS phase 1: an RDCSS descriptor was installed into a cell but
+    /// the operation is not yet resolved — other threads can now observe
+    /// and help the half-done operation.
+    RdcssInstalled,
+    /// MCAS: phase 1 complete, the status CAS (the linearization point)
+    /// not yet attempted.
+    McasBeforeStatusCas,
+    /// `LockWord`: spinning on a stripe held by another thread. Without a
+    /// yield here a cooperative scheduler would spin forever while the
+    /// stripe's holder sits descheduled.
+    LockSpin,
+    /// Deque: a push has read the hat(s) but not yet attempted its DCAS.
+    DequePushBeforeDcas,
+    /// Deque: a pop has read the hats but not yet examined the end node.
+    DequePopAfterReadHats,
+    /// Deque: a pop is about to attempt its structural DCAS.
+    DequePopBeforeDcas,
+    /// Deque: a repaired pop has won its structural DCAS but not yet
+    /// claimed the value.
+    DequePopBeforeClaim,
+}
+
+impl InstrSite {
+    /// Small stable tag, mixed into schedule trace hashes.
+    pub fn tag(self) -> u64 {
+        match self {
+            InstrSite::LoadDcasWindow => 1,
+            InstrSite::DestroyDecrement => 2,
+            InstrSite::RdcssInstalled => 3,
+            InstrSite::McasBeforeStatusCas => 4,
+            InstrSite::LockSpin => 5,
+            InstrSite::DequePushBeforeDcas => 6,
+            InstrSite::DequePopAfterReadHats => 7,
+            InstrSite::DequePopBeforeDcas => 8,
+            InstrSite::DequePopBeforeClaim => 9,
+        }
+    }
+
+    /// Human-readable site name, used in schedule dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstrSite::LoadDcasWindow => "load-dcas-window",
+            InstrSite::DestroyDecrement => "destroy-decrement",
+            InstrSite::RdcssInstalled => "rdcss-installed",
+            InstrSite::McasBeforeStatusCas => "mcas-before-status-cas",
+            InstrSite::LockSpin => "lock-spin",
+            InstrSite::DequePushBeforeDcas => "deque-push-before-dcas",
+            InstrSite::DequePopAfterReadHats => "deque-pop-after-read-hats",
+            InstrSite::DequePopBeforeDcas => "deque-pop-before-dcas",
+            InstrSite::DequePopBeforeClaim => "deque-pop-before-claim",
+        }
+    }
+}
+
+/// A per-thread yield hook.
+pub type InstrHook = Box<dyn FnMut(InstrSite)>;
+
+thread_local! {
+    static HOOK: RefCell<Option<InstrHook>> = const { RefCell::new(None) };
+}
+
+/// Called at every instrumented site. Invokes the calling thread's hook
+/// if one is installed; a no-op otherwise.
+#[inline]
+pub fn yield_point(site: InstrSite) {
+    HOOK.with(|h| {
+        // The hook may block for a long time (that is its purpose: the
+        // scheduler parks the thread here). Re-entry is impossible — the
+        // thread is inside the hook, so it cannot reach another site.
+        if let Some(f) = h.borrow_mut().as_mut() {
+            f(site);
+        }
+    });
+}
+
+/// Installs (or clears) the yield hook for the calling thread.
+pub fn set_thread_hook(hook: Option<InstrHook>) {
+    HOOK.with(|h| *h.borrow_mut() = hook);
+}
+
+/// Whether the calling thread currently has a yield hook installed.
+pub fn hook_installed() -> bool {
+    HOOK.with(|h| h.borrow().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn no_hook_is_silent() {
+        yield_point(InstrSite::LoadDcasWindow);
+        assert!(!hook_installed());
+    }
+
+    #[test]
+    fn hook_sees_sites_and_is_thread_local() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        set_thread_hook(Some(Box::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        })));
+        yield_point(InstrSite::DestroyDecrement);
+        yield_point(InstrSite::RdcssInstalled);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+
+        let h2 = Arc::clone(&hits);
+        std::thread::spawn(move || {
+            yield_point(InstrSite::DestroyDecrement);
+            assert_eq!(h2.load(Ordering::SeqCst), 2, "hooks are per-thread");
+        })
+        .join()
+        .unwrap();
+
+        set_thread_hook(None);
+        yield_point(InstrSite::DestroyDecrement);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        let sites = [
+            InstrSite::LoadDcasWindow,
+            InstrSite::DestroyDecrement,
+            InstrSite::RdcssInstalled,
+            InstrSite::McasBeforeStatusCas,
+            InstrSite::LockSpin,
+            InstrSite::DequePushBeforeDcas,
+            InstrSite::DequePopAfterReadHats,
+            InstrSite::DequePopBeforeDcas,
+            InstrSite::DequePopBeforeClaim,
+        ];
+        let mut tags: Vec<u64> = sites.iter().map(|s| s.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), sites.len());
+    }
+}

@@ -58,11 +58,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod emu;
+pub mod instrument;
 pub mod llsc;
 pub mod locked;
 pub mod mcas;
 
 pub use emu::{emulation_stats, quiesce, retire_box, with_guard};
+pub use instrument::InstrSite;
 pub use llsc::{Linked, LlScCell};
 pub use locked::LockWord;
 pub use mcas::McasWord;

@@ -19,7 +19,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use crossbeam_utils::CachePadded;
+use lfrc_reclaim::CachePadded;
 
 use crate::emu::with_guard;
 use crate::{DcasWord, McasOp, MAX_PAYLOAD};
@@ -46,6 +46,10 @@ impl Stripe {
                 return;
             }
             while self.locked.load(Ordering::Relaxed) {
+                // Under cooperative schedule exploration the stripe's
+                // holder may be descheduled; without a yield point here a
+                // spinning thread would hold the (only) CPU forever.
+                crate::instrument::yield_point(crate::instrument::InstrSite::LockSpin);
                 spins += 1;
                 if spins < 64 {
                     std::hint::spin_loop();

@@ -29,6 +29,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::emu::with_guard;
+use crate::instrument::{yield_point, InstrSite};
 use crate::{DcasWord, McasOp, MAX_PAYLOAD};
 
 const TAG_MASK: u64 = 0b11;
@@ -55,6 +56,9 @@ fn decode(word: u64) -> u64 {
 /// One sorted entry of an in-flight MCAS. `old`/`new` are *encoded* words.
 struct Entry {
     cell: *const AtomicU64,
+    /// The cell's creation-order id — the global installation order (see
+    /// [`McasWord::mcas`]).
+    order: u64,
     old: u64,
     new: u64,
 }
@@ -151,7 +155,10 @@ fn rdcss(
     let result = loop {
         match cell.compare_exchange(entry.old, tagged, Ordering::SeqCst, Ordering::SeqCst) {
             Ok(_) => {
-                // Installed: now complete (install MCAS word or roll back).
+                // Installed but not yet resolved: the exact window where a
+                // helping thread can observe the half-done operation.
+                yield_point(InstrSite::RdcssInstalled);
+                // Now complete (install MCAS word or roll back).
                 rdcss_complete(unsafe { &*desc }, tagged);
                 break entry.old;
             }
@@ -193,6 +200,9 @@ fn mcas_help(guard: &lfrc_reclaim::epoch::Guard<'_>, tagged: u64) -> bool {
                 break 'phase1;
             }
         }
+        // Phase 1 is done but the operation is still undecided — the
+        // status CAS below is the linearization point.
+        yield_point(InstrSite::McasBeforeStatusCas);
         let _ = desc
             .status
             .compare_exchange(UNDECIDED, outcome, Ordering::SeqCst, Ordering::SeqCst);
@@ -234,7 +244,18 @@ fn word_read(guard: &lfrc_reclaim::epoch::Guard<'_>, word: &AtomicU64) -> u64 {
 /// explicitly selects [`crate::LockWord`] for ablation.
 pub struct McasWord {
     word: AtomicU64,
+    /// Creation-order id, used as the global MCAS installation order.
+    ///
+    /// Harris et al. sort by cell *address*; any consistent total order
+    /// prevents livelock equally well, and creation order — unlike
+    /// addresses — is identical across runs that perform the same
+    /// allocation sequence, which is what lets `lfrc-sched` replay a
+    /// seeded schedule bit-for-bit (see DESIGN.md).
+    order: u64,
 }
+
+/// Source of [`McasWord::order`] ids.
+static NEXT_CELL_ORDER: AtomicU64 = AtomicU64::new(0);
 
 impl fmt::Debug for McasWord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -246,6 +267,7 @@ impl DcasWord for McasWord {
     fn new(value: u64) -> Self {
         McasWord {
             word: AtomicU64::new(encode(value)),
+            order: NEXT_CELL_ORDER.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -290,13 +312,15 @@ impl DcasWord for McasWord {
             .iter()
             .map(|op| Entry {
                 cell: &op.cell.word as *const AtomicU64,
+                order: op.cell.order,
                 old: encode(op.old),
                 new: encode(op.new),
             })
             .collect();
         // A global installation order prevents livelock between
-        // overlapping operations (Harris et al. §4).
-        entries.sort_by_key(|e| e.cell as usize);
+        // overlapping operations (Harris et al. §4). Creation order is
+        // used instead of address order so schedules replay exactly.
+        entries.sort_by_key(|e| e.order);
         debug_assert!(
             entries.windows(2).all(|w| w[0].cell != w[1].cell),
             "mcas entries must target distinct cells"

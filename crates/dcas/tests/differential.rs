@@ -5,10 +5,37 @@
 //! final memory). Concurrently, invariant-based stress (sum conservation
 //! under mixed single- and multi-word updates) cross-checks the lock-free
 //! strategy against the blocking oracle.
-
-use proptest::prelude::*;
+//!
+//! Operation sequences come from a seeded SplitMix64 generator (the
+//! workspace builds offline, so no proptest): every case is reproducible
+//! from its printed seed.
 
 use lfrc_dcas::{DcasWord, LockWord, McasOp, McasWord};
+
+/// SplitMix64 — deterministic case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn idx(&mut self) -> usize {
+        self.below(6) as usize
+    }
+
+    fn small(&mut self) -> u64 {
+        self.below(8)
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,20 +47,25 @@ enum Op {
     Mcas3(usize, usize, usize, u64),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    let small = 0u64..8;
-    prop::collection::vec(
-        prop_oneof![
-            (0usize..6).prop_map(Op::Load),
-            (0usize..6, small.clone()).prop_map(|(i, v)| Op::Store(i, v)),
-            (0usize..6, small.clone(), small.clone()).prop_map(|(i, o, n)| Op::Cas(i, o, n)),
-            (0usize..6, -3i32..4).prop_map(|(i, d)| Op::FetchAdd(i, d)),
-            (0usize..6, 0usize..6, small.clone(), small.clone(), small.clone(), small.clone())
-                .prop_map(|(i, j, oi, oj, ni, nj)| Op::Dcas(i, j, oi, oj, ni, nj)),
-            (0usize..6, 0usize..6, 0usize..6, small).prop_map(|(i, j, k, v)| Op::Mcas3(i, j, k, v)),
-        ],
-        0..120,
-    )
+fn gen_ops(rng: &mut Rng) -> Vec<Op> {
+    let len = rng.below(120) as usize;
+    (0..len)
+        .map(|_| match rng.below(6) {
+            0 => Op::Load(rng.idx()),
+            1 => Op::Store(rng.idx(), rng.small()),
+            2 => Op::Cas(rng.idx(), rng.small(), rng.small()),
+            3 => Op::FetchAdd(rng.idx(), rng.below(7) as i32 - 3),
+            4 => Op::Dcas(
+                rng.idx(),
+                rng.idx(),
+                rng.small(),
+                rng.small(),
+                rng.small(),
+                rng.small(),
+            ),
+            _ => Op::Mcas3(rng.idx(), rng.idx(), rng.idx(), rng.small()),
+        })
+        .collect()
 }
 
 /// Applies one op to the real cells, returning an observation word.
@@ -144,18 +176,35 @@ fn check_strategy<W: DcasWord>(ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn mcas_strategy_matches_model(ops in ops()) {
-        check_strategy::<McasWord>(&ops);
+fn run_cases<W: DcasWord>(base_seed: u64) {
+    for case in 0..CASES {
+        let seed = base_seed + case;
+        let ops = gen_ops(&mut Rng(seed));
+        // check_strategy panics with op context on divergence; the seed
+        // printed here pins the whole failing sequence.
+        eprintln_on_panic(seed, || check_strategy::<W>(&ops));
     }
+}
 
-    #[test]
-    fn lock_strategy_matches_model(ops in ops()) {
-        check_strategy::<LockWord>(&ops);
+/// Runs `f`, printing the case seed before re-panicking on failure.
+fn eprintln_on_panic(seed: u64, f: impl FnOnce()) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    if let Err(payload) = result {
+        eprintln!("differential: case seed {seed} failed — reproduce with Rng({seed})");
+        std::panic::resume_unwind(payload);
     }
+}
+
+#[test]
+fn mcas_strategy_matches_model() {
+    run_cases::<McasWord>(0x01d_dca5);
+}
+
+#[test]
+fn lock_strategy_matches_model() {
+    run_cases::<LockWord>(0x10c_dca5);
 }
 
 /// Concurrent cross-check: N threads apply conservation-preserving

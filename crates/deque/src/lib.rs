@@ -72,7 +72,7 @@ pub use gc_repaired::GcSnarkRepaired;
 pub use lfrc_published::LfrcSnark;
 pub use lfrc_repaired::LfrcSnarkRepaired;
 pub use lfrc_selfptr::LfrcSnarkSelfPtr;
-pub use pause::{HookPause, NoPause, PausePolicy, PauseSite};
+pub use pause::{HookPause, NoPause, PausePolicy, PauseSite, SchedPause};
 
 /// Sentinel stored in a node's value cell once a repaired pop has claimed
 /// it. User values must be strictly smaller.

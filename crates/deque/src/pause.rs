@@ -81,6 +81,28 @@ impl PausePolicy for HookPause {
     }
 }
 
+/// A policy that forwards every pause site to the cross-crate
+/// instrumentation layer ([`lfrc_dcas::instrument`]), so a deque becomes
+/// explorable by the `lfrc-sched` deterministic scheduler without any
+/// change to the algorithm code.
+///
+/// On threads with no instrumentation hook installed (all production
+/// threads), every pause is a thread-local read and nothing else.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SchedPause;
+
+impl PausePolicy for SchedPause {
+    fn pause(site: PauseSite) {
+        use lfrc_dcas::InstrSite;
+        lfrc_dcas::instrument::yield_point(match site {
+            PauseSite::PushBeforeDcas => InstrSite::DequePushBeforeDcas,
+            PauseSite::PopAfterReadHats => InstrSite::DequePopAfterReadHats,
+            PauseSite::PopBeforeDcas => InstrSite::DequePopBeforeDcas,
+            PauseSite::PopBeforeClaim => InstrSite::DequePopBeforeClaim,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,13 +25,22 @@ pub fn rss_bytes() -> u64 {
 }
 
 fn page_size() -> u64 {
-    // Safety: sysconf is always safe to call.
-    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
-    if sz > 0 {
-        sz as u64
-    } else {
-        4096
-    }
+    // Derived without libc: Linux exposes the kernel page size as the
+    // KernelPageSize of any mapping in /proc/self/smaps. Fall back to the
+    // near-universal 4 KiB if the file is unavailable.
+    static PAGE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *PAGE.get_or_init(|| {
+        std::fs::read_to_string("/proc/self/smaps")
+            .ok()
+            .and_then(|smaps| {
+                smaps.lines().find_map(|l| {
+                    let rest = l.strip_prefix("KernelPageSize:")?;
+                    let kb: u64 = rest.trim().strip_suffix("kB")?.trim().parse().ok()?;
+                    Some(kb * 1024)
+                })
+            })
+            .unwrap_or(4096)
+    })
 }
 
 /// A labelled series of per-phase footprint samples.

@@ -43,7 +43,7 @@ use std::ptr;
 use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam_utils::CachePadded;
+use crate::pad::CachePadded;
 
 use crate::stats::CollectorStats;
 

@@ -34,7 +34,9 @@
 
 pub mod epoch;
 pub mod leak;
+pub mod pad;
 pub mod stats;
 
 pub use epoch::{Collector, Guard, LocalHandle};
 pub use leak::LeakArena;
+pub use pad::CachePadded;

@@ -1,0 +1,189 @@
+//! Bounded depth-first exploration of the schedule tree.
+//!
+//! Every scheduled run records its [`Decision`]s: at each yield point,
+//! which runnable thread was chosen out of how many. Those decisions are
+//! the edges of a tree whose leaves are complete interleavings.
+//! [`Explorer`] walks that tree systematically: run once with an empty
+//! prefix, then repeatedly flip the deepest decision (within the
+//! branching-depth bound) that still has an untried sibling, re-run with
+//! the new prefix, and extend. This is stateless model checking in the
+//! style of VeriSoft / loom: no state is saved, traces are regenerated
+//! by replay, and determinism of the code under test makes replay exact.
+//!
+//! The `depth` bound caps how deep in the tree branches are *flipped*
+//! (beyond it, the scheduler runs first-runnable), which bounds the
+//! frontier size; `max_schedules` caps total work for use in CI smoke
+//! runs.
+
+use crate::{Decision, Policy, Trace};
+use std::collections::HashSet;
+
+/// Statistics from one exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Schedules actually run.
+    pub schedules: u64,
+    /// Distinct trace hashes observed (≤ `schedules`; equal when every
+    /// prefix led to a genuinely different interleaving).
+    pub distinct: u64,
+    /// True when the tree was exhausted within the depth bound — every
+    /// interleaving whose branch points lie within `depth` has been run.
+    pub exhausted: bool,
+}
+
+/// Systematic (bounded DFS) exploration driver.
+///
+/// The closure passed to [`explore`](Explorer::explore) runs one
+/// schedule under the given [`Policy`] and returns its [`Trace`]; it
+/// must be deterministic (same policy ⇒ same trace), which all
+/// instrumented LFRC workloads are.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Stop after this many schedules even if the tree is not exhausted.
+    pub max_schedules: u64,
+    /// Only decisions at tree depth < `depth` are enumerated; deeper
+    /// ones always take branch 0 (first runnable thread).
+    pub depth: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_schedules: 10_000,
+            depth: 20,
+        }
+    }
+}
+
+impl Explorer {
+    /// Explores the schedule tree, calling `round` once per schedule.
+    pub fn explore<F>(&self, mut round: F) -> ExploreStats
+    where
+        F: FnMut(&Policy) -> Trace,
+    {
+        let mut stack: Vec<Decision> = Vec::new();
+        let mut schedules = 0u64;
+        let mut hashes = HashSet::new();
+        let mut exhausted = false;
+        loop {
+            let policy = Policy::Prefix(stack.iter().map(|d| d.choice).collect());
+            let trace = round(&policy);
+            schedules += 1;
+            hashes.insert(trace.hash);
+
+            // The run extended past our prefix with default (branch-0)
+            // decisions; adopt them, up to the depth bound, so their
+            // siblings get enumerated too.
+            for d in trace.decisions.iter().skip(stack.len()) {
+                if stack.len() >= self.depth {
+                    break;
+                }
+                stack.push(*d);
+            }
+            // Backtrack to the deepest decision with an untried sibling.
+            loop {
+                match stack.last_mut() {
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                    Some(d) if d.choice + 1 < d.alternatives => {
+                        d.choice += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        stack.pop();
+                    }
+                }
+            }
+            if exhausted || schedules >= self.max_schedules {
+                break;
+            }
+        }
+        ExploreStats {
+            schedules,
+            distinct: hashes.len() as u64,
+            exhausted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{instrument, run_seeded, Body, InstrSite, Schedule};
+    use std::sync::Mutex;
+
+    fn two_step_bodies<'a>(log: &'a Mutex<Vec<usize>>) -> Vec<Body<'a>> {
+        (0..2)
+            .map(|id| {
+                let body: Body<'a> = Box::new(move || {
+                    instrument::yield_point(InstrSite::LoadDcasWindow);
+                    log.lock().unwrap().push(id);
+                    instrument::yield_point(InstrSite::DestroyDecrement);
+                    log.lock().unwrap().push(id);
+                });
+                body
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exhausts_small_tree_and_finds_all_interleavings() {
+        // Two threads, two yield points each: the interleavings of the
+        // log are the 2-out-of-4 shuffles ⇒ C(4,2) = 6 distinct orders.
+        let mut orders = HashSet::new();
+        let stats = Explorer {
+            max_schedules: 1_000,
+            depth: 32,
+        }
+        .explore(|policy| {
+            let log = Mutex::new(Vec::new());
+            let trace = Schedule::new().run(policy, two_step_bodies(&log));
+            orders.insert(log.into_inner().unwrap());
+            trace
+        });
+        assert!(stats.exhausted, "small tree should be exhausted: {stats:?}");
+        assert_eq!(orders.len(), 6, "expected all C(4,2) interleavings");
+        assert!(stats.distinct >= 6);
+    }
+
+    #[test]
+    fn random_and_dfs_agree_on_reachable_hashes() {
+        // Every hash reachable by seeded-random runs must be within the
+        // exhaustively enumerated set.
+        let mut dfs_hashes = HashSet::new();
+        Explorer {
+            max_schedules: 1_000,
+            depth: 32,
+        }
+        .explore(|policy| {
+            let log = Mutex::new(Vec::new());
+            let trace = Schedule::new().run(policy, two_step_bodies(&log));
+            dfs_hashes.insert(trace.hash);
+            trace
+        });
+        for seed in 0..128 {
+            let log = Mutex::new(Vec::new());
+            let trace = run_seeded(seed, two_step_bodies(&log));
+            assert!(
+                dfs_hashes.contains(&trace.hash),
+                "random schedule (seed {seed}) escaped the DFS-enumerated set"
+            );
+        }
+    }
+
+    #[test]
+    fn max_schedules_bounds_work() {
+        let stats = Explorer {
+            max_schedules: 3,
+            depth: 32,
+        }
+        .explore(|policy| {
+            let log = Mutex::new(Vec::new());
+            Schedule::new().run(policy, two_step_bodies(&log))
+        });
+        assert_eq!(stats.schedules, 3);
+        assert!(!stats.exhausted);
+    }
+}

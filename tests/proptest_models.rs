@@ -1,22 +1,49 @@
-//! Property-based tests: every structure against its sequential model.
+//! Property-based tests: every structure against its sequential model,
+//! plus refcount invariants under explored adversarial schedules.
 //!
-//! Strategy: generate arbitrary operation sequences and replay them
-//! simultaneously against the LFRC structure and a `std` model
-//! (`VecDeque`/`Vec`); every observable result must match, and the
-//! census must be empty after teardown (invariant I3). Sequential
-//! equivalence plus the concurrent conservation tests in
-//! `integration.rs` together cover the paper's correctness story:
-//! the *transformation* must not change behaviour.
+//! Strategy: generate operation sequences from a seeded [`SplitMix64`]
+//! stream (the workspace builds offline, so no proptest; every failing
+//! case prints its seed) and replay them simultaneously against the LFRC
+//! structure and a `std` model (`VecDeque`/`Vec`/`BTreeSet`); every
+//! observable result must match, and the census must be empty after
+//! teardown (invariant I3). Sequential equivalence plus the concurrent
+//! conservation tests in `integration.rs` together cover the paper's
+//! correctness story: the *transformation* must not change behaviour.
+//!
+//! The `rc_invariant_*` tests go further: they drive clone/load/store/
+//! drop races through the `lfrc-sched` cooperative scheduler (so the
+//! `LFRCLoad` DCAS window and the `LFRCDestroy` decrement interleave in
+//! every explored order) and assert the two safety invariants the paper
+//! argues for — all objects reclaimed (zero live) and no access after
+//! free (zero canary hits) — for **both** DCAS strategies.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-use proptest::prelude::*;
-
-use lfrc_repro::core::{Heap, Links, LockWord, McasWord, PtrField, SharedField};
+use lfrc_repro::core::{DcasWord, Heap, Links, LockWord, McasWord, PtrField, SharedField};
 use lfrc_repro::deque::{
     ConcurrentDeque, GcSnark, GcSnarkRepaired, LfrcSnark, LfrcSnarkRepaired,
 };
 use lfrc_repro::structures::{ConcurrentQueue, ConcurrentStack, LfrcQueue, LfrcStack};
+use lfrc_sched::{Body, Policy, Schedule, SplitMix64};
+
+/// Number of generated cases per property (matches the old proptest
+/// configuration).
+const CASES: u64 = 64;
+
+/// Runs `case` on `CASES` seeded generators, printing the failing seed
+/// before propagating any panic.
+fn run_cases(label: &str, base_seed: u64, mut case: impl FnMut(&mut SplitMix64)) {
+    for i in 0..CASES {
+        let seed = base_seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let result = catch_unwind(AssertUnwindSafe(|| case(&mut SplitMix64::new(seed))));
+        if let Err(payload) = result {
+            eprintln!("{label}: case {i} failed — reproduce with SplitMix64::new({seed:#x})");
+            resume_unwind(payload);
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum DqOp {
@@ -26,16 +53,16 @@ enum DqOp {
     PopRight,
 }
 
-fn dq_ops() -> impl Strategy<Value = Vec<DqOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..1_000_000).prop_map(DqOp::PushLeft),
-            (0u64..1_000_000).prop_map(DqOp::PushRight),
-            Just(DqOp::PopLeft),
-            Just(DqOp::PopRight),
-        ],
-        0..200,
-    )
+fn dq_ops(rng: &mut SplitMix64) -> Vec<DqOp> {
+    let len = rng.below(200);
+    (0..len)
+        .map(|_| match rng.below(4) {
+            0 => DqOp::PushLeft(rng.below(1_000_000)),
+            1 => DqOp::PushRight(rng.below(1_000_000)),
+            2 => DqOp::PopLeft,
+            _ => DqOp::PopRight,
+        })
+        .collect()
 }
 
 fn check_deque_against_model(d: &dyn ConcurrentDeque, ops: &[DqOp]) {
@@ -62,84 +89,115 @@ fn check_deque_against_model(d: &dyn ConcurrentDeque, ops: &[DqOp]) {
     assert_eq!(d.pop_right(), None);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lfrc_snark_matches_vecdeque(ops in dq_ops()) {
+#[test]
+fn lfrc_snark_matches_vecdeque() {
+    run_cases("lfrc_snark_matches_vecdeque", 0xA001, |rng| {
+        let ops = dq_ops(rng);
         let d: LfrcSnark<McasWord> = LfrcSnark::new();
-        let census = std::sync::Arc::clone(d.heap().census());
+        let census = Arc::clone(d.heap().census());
         check_deque_against_model(&d, &ops);
         drop(d);
-        prop_assert_eq!(census.live(), 0, "leak detected");
-    }
+        assert_eq!(census.live(), 0, "leak detected");
+    });
+}
 
-    #[test]
-    fn lfrc_snark_repaired_matches_vecdeque(ops in dq_ops()) {
+#[test]
+fn lfrc_snark_repaired_matches_vecdeque() {
+    run_cases("lfrc_snark_repaired_matches_vecdeque", 0xA002, |rng| {
+        let ops = dq_ops(rng);
         let d: LfrcSnarkRepaired<McasWord> = LfrcSnarkRepaired::new();
-        let census = std::sync::Arc::clone(d.heap().census());
+        let census = Arc::clone(d.heap().census());
         check_deque_against_model(&d, &ops);
         drop(d);
-        prop_assert_eq!(census.live(), 0, "leak detected");
-    }
+        assert_eq!(census.live(), 0, "leak detected");
+    });
+}
 
-    #[test]
-    fn gc_snark_matches_vecdeque(ops in dq_ops()) {
+#[test]
+fn gc_snark_matches_vecdeque() {
+    run_cases("gc_snark_matches_vecdeque", 0xA003, |rng| {
+        let ops = dq_ops(rng);
         let d: GcSnark<McasWord> = GcSnark::new();
         check_deque_against_model(&d, &ops);
-    }
+    });
+}
 
-    #[test]
-    fn gc_snark_repaired_matches_vecdeque(ops in dq_ops()) {
+#[test]
+fn gc_snark_repaired_matches_vecdeque() {
+    run_cases("gc_snark_repaired_matches_vecdeque", 0xA004, |rng| {
+        let ops = dq_ops(rng);
         let d: GcSnarkRepaired<McasWord> = GcSnarkRepaired::new();
         check_deque_against_model(&d, &ops);
-    }
+    });
+}
 
-    #[test]
-    fn lfrc_snark_lock_strategy_matches_vecdeque(ops in dq_ops()) {
+#[test]
+fn lfrc_snark_lock_strategy_matches_vecdeque() {
+    run_cases("lfrc_snark_lock_strategy_matches_vecdeque", 0xA005, |rng| {
+        let ops = dq_ops(rng);
         let d: LfrcSnark<LockWord> = LfrcSnark::new();
         check_deque_against_model(&d, &ops);
-    }
+    });
+}
 
-    #[test]
-    fn lfrc_stack_matches_vec(ops in prop::collection::vec(
-        prop_oneof![(0u64..1_000_000).prop_map(Some), Just(None)], 0..200)
-    ) {
+/// `Some(v)` = push, `None` = pop — shared by the stack/queue properties.
+fn opt_ops(rng: &mut SplitMix64) -> Vec<Option<u64>> {
+    let len = rng.below(200);
+    (0..len)
+        .map(|_| {
+            if rng.below(2) == 0 {
+                Some(rng.below(1_000_000))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn lfrc_stack_matches_vec() {
+    run_cases("lfrc_stack_matches_vec", 0xA006, |rng| {
         let s: LfrcStack<McasWord> = LfrcStack::new();
-        let census = std::sync::Arc::clone(s.heap().census());
+        let census = Arc::clone(s.heap().census());
         let mut model: Vec<u64> = Vec::new();
-        for op in ops {
+        for op in opt_ops(rng) {
             match op {
-                Some(v) => { s.push(v); model.push(v); }
-                None => prop_assert_eq!(s.pop(), model.pop()),
+                Some(v) => {
+                    s.push(v);
+                    model.push(v);
+                }
+                None => assert_eq!(s.pop(), model.pop()),
             }
         }
         while let Some(expected) = model.pop() {
-            prop_assert_eq!(s.pop(), Some(expected));
+            assert_eq!(s.pop(), Some(expected));
         }
         drop(s);
-        prop_assert_eq!(census.live(), 0);
-    }
+        assert_eq!(census.live(), 0);
+    });
+}
 
-    #[test]
-    fn lfrc_queue_matches_vecdeque(ops in prop::collection::vec(
-        prop_oneof![(0u64..1_000_000).prop_map(Some), Just(None)], 0..200)
-    ) {
+#[test]
+fn lfrc_queue_matches_vecdeque() {
+    run_cases("lfrc_queue_matches_vecdeque", 0xA007, |rng| {
         let q: LfrcQueue<McasWord> = LfrcQueue::new();
-        let census = std::sync::Arc::clone(q.heap().census());
+        let census = Arc::clone(q.heap().census());
         let mut model: VecDeque<u64> = VecDeque::new();
-        for op in ops {
+        for op in opt_ops(rng) {
             match op {
-                Some(v) => { q.enqueue(v); model.push_back(v); }
-                None => prop_assert_eq!(q.dequeue(), model.pop_front()),
+                Some(v) => {
+                    q.enqueue(v);
+                    model.push_back(v);
+                }
+                None => assert_eq!(q.dequeue(), model.pop_front()),
             }
         }
         while let Some(expected) = model.pop_front() {
-            prop_assert_eq!(q.dequeue(), Some(expected));
+            assert_eq!(q.dequeue(), Some(expected));
         }
         drop(q);
-        prop_assert_eq!(census.live(), 0);
-    }
+        assert_eq!(census.live(), 0);
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -160,20 +218,23 @@ impl Links<McasWord> for GraphNode {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Build a random acyclic two-successor graph (each node links only to
+/// strictly older nodes), hold it by a random set of roots, then drop
+/// everything: the census must return to zero — the paper's liveness
+/// guarantee under arbitrary (cycle-free) sharing.
+#[test]
+fn random_dags_are_fully_reclaimed() {
+    run_cases("random_dags_are_fully_reclaimed", 0xA008, |rng| {
+        let n_nodes = 1 + rng.below(63) as usize;
+        let links: Vec<(usize, usize)> = (0..n_nodes)
+            .map(|_| (rng.below(64) as usize, rng.below(64) as usize))
+            .collect();
+        let root_picks: Vec<usize> = (0..1 + rng.below(7))
+            .map(|_| rng.below(64) as usize)
+            .collect();
 
-    /// Build a random acyclic two-successor graph (each node links only to
-    /// strictly older nodes), hold it by a random set of roots, then drop
-    /// everything: the census must return to zero — the paper's liveness
-    /// guarantee under arbitrary (cycle-free) sharing.
-    #[test]
-    fn random_dags_are_fully_reclaimed(
-        links in prop::collection::vec((0usize..64, 0usize..64), 1..64),
-        root_picks in prop::collection::vec(0usize..64, 1..8),
-    ) {
         let heap: Heap<GraphNode, McasWord> = Heap::new();
-        let census = std::sync::Arc::clone(heap.census());
+        let census = Arc::clone(heap.census());
         {
             let mut nodes = Vec::new();
             for (i, (la, lb)) in links.iter().enumerate() {
@@ -200,24 +261,135 @@ proptest! {
                 .collect();
             drop(nodes);
             // Some nodes may already be gone (unreachable from roots).
-            prop_assert!(census.live() <= links.len() as u64);
+            assert!(census.live() <= links.len() as u64);
             drop(roots);
         }
-        prop_assert_eq!(census.live(), 0, "acyclic graph leaked");
-    }
+        assert_eq!(census.live(), 0, "acyclic graph leaked");
+    });
+}
 
-    /// Clone/drop storms on a single object leave the count exact.
-    #[test]
-    fn clone_storms_balance(clones in 1usize..64) {
+/// Clone/drop storms on a single object leave the count exact.
+#[test]
+fn clone_storms_balance() {
+    run_cases("clone_storms_balance", 0xA009, |rng| {
+        let clones = 1 + rng.below(63) as usize;
         let heap: Heap<GraphNode, McasWord> = Heap::new();
-        let n = heap.alloc(GraphNode { id: 0, a: PtrField::null(), b: PtrField::null() });
+        let n = heap.alloc(GraphNode {
+            id: 0,
+            a: PtrField::null(),
+            b: PtrField::null(),
+        });
         let copies: Vec<_> = (0..clones).map(|_| n.clone()).collect();
-        prop_assert_eq!(lfrc_repro::core::Local::ref_count(&n), clones as u64 + 1);
+        assert_eq!(lfrc_repro::core::Local::ref_count(&n), clones as u64 + 1);
         drop(copies);
-        prop_assert_eq!(lfrc_repro::core::Local::ref_count(&n), 1);
+        assert_eq!(lfrc_repro::core::Local::ref_count(&n), 1);
         drop(n);
-        prop_assert_eq!(heap.census().live(), 0);
+        assert_eq!(heap.census().live(), 0);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Refcount invariants under explored adversarial schedules (lfrc-sched)
+// ---------------------------------------------------------------------------
+
+/// A W-generic node so the schedule-driven invariant runs under both
+/// DCAS strategies.
+struct SchedNode<W: DcasWord> {
+    #[allow(dead_code)]
+    id: u64,
+    next: PtrField<SchedNode<W>, W>,
+}
+
+impl<W: DcasWord> Links<W> for SchedNode<W> {
+    fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<SchedNode<W>, W>)) {
+        f(&self.next);
     }
+}
+
+/// Three logical threads hammer two shared fields with LFRC loads,
+/// clones, stores, and CASes while the cooperative scheduler interleaves
+/// them at every instrumented window (the `LFRCLoad` DCAS window, the
+/// `LFRCDestroy` decrement, and the MCAS descriptor windows). After all
+/// Locals are dropped under the explored schedule, the census must show
+/// **zero live objects** (nothing leaked) and **zero canary hits**
+/// (nothing was touched after free — `rc_on_freed` counts rc updates
+/// that landed on freed memory).
+fn rc_invariant_under_explored_schedules<W: DcasWord>(seeds: std::ops::Range<u64>) {
+    for seed in seeds {
+        let heap: Heap<SchedNode<W>, W> = Heap::new();
+        let census = Arc::clone(heap.census());
+        {
+            let shared: [SharedField<SchedNode<W>, W>; 2] =
+                [SharedField::null(), SharedField::null()];
+            let seed_node = heap.alloc(SchedNode { id: 0, next: PtrField::null() });
+            shared[0].store(Some(&seed_node));
+            shared[1].store(Some(&seed_node));
+            drop(seed_node);
+
+            {
+                let (heap, shared) = (&heap, &shared);
+                let bodies: Vec<Body<'_>> = (0..3u64)
+                    .map(|t| {
+                        let body: Body<'_> = Box::new(move || {
+                            let mut held = Vec::new();
+                            for i in 0..3u64 {
+                                let f = &shared[(t + i) as usize % 2];
+                                // LFRCLoad: races its DCAS window against
+                                // other threads' stores and destroys.
+                                if let Some(l) = f.load() {
+                                    if i % 2 == 0 {
+                                        held.push(l.clone());
+                                    }
+                                    drop(l);
+                                }
+                                // Replace the shared value: the old
+                                // occupant's count drops, possibly to
+                                // zero, under an explored interleaving.
+                                let fresh = heap.alloc(SchedNode {
+                                    id: t * 10 + i,
+                                    next: PtrField::null(),
+                                });
+                                if i == 2 {
+                                    f.store(None);
+                                } else {
+                                    f.store(Some(&fresh));
+                                }
+                                drop(fresh);
+                                held.pop();
+                            }
+                            // `held` drops here: destroys interleave too.
+                        });
+                        body
+                    })
+                    .collect();
+                Schedule::new().run(&Policy::Random(seed), bodies);
+            }
+            shared[0].store(None);
+            shared[1].store(None);
+        }
+        assert_eq!(
+            census.live(),
+            0,
+            "{}: live objects leaked — replay with LFRC_SCHED_SEED={seed}",
+            W::strategy_name()
+        );
+        assert_eq!(
+            census.rc_on_freed(),
+            0,
+            "{}: canary hit (rc update on freed object) — replay with LFRC_SCHED_SEED={seed}",
+            W::strategy_name()
+        );
+    }
+}
+
+#[test]
+fn rc_invariant_under_explored_schedules_mcas() {
+    rc_invariant_under_explored_schedules::<McasWord>(0..600);
+}
+
+#[test]
+fn rc_invariant_under_explored_schedules_lock() {
+    rc_invariant_under_explored_schedules::<LockWord>(0..600);
 }
 
 // ---------------------------------------------------------------------------
@@ -233,74 +405,80 @@ enum SetOp {
     Contains(u64),
 }
 
-fn set_ops() -> impl Strategy<Value = Vec<SetOp>> {
+fn set_ops(rng: &mut SplitMix64) -> Vec<SetOp> {
     // Small key space maximizes insert/remove collisions.
-    let key = 0u64..24;
-    prop::collection::vec(
-        prop_oneof![
-            key.clone().prop_map(SetOp::Insert),
-            key.clone().prop_map(SetOp::Remove),
-            key.prop_map(SetOp::Contains),
-        ],
-        0..300,
-    )
+    let len = rng.below(300);
+    (0..len)
+        .map(|_| {
+            let key = rng.below(24);
+            match rng.below(3) {
+                0 => SetOp::Insert(key),
+                1 => SetOp::Remove(key),
+                _ => SetOp::Contains(key),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn ordered_set_matches_btreeset(ops in set_ops()) {
+#[test]
+fn ordered_set_matches_btreeset() {
+    run_cases("ordered_set_matches_btreeset", 0xA00A, |rng| {
+        let ops = set_ops(rng);
         let set: LfrcOrderedSet<McasWord> = LfrcOrderedSet::new();
-        let census = std::sync::Arc::clone(set.heap().census());
+        let census = Arc::clone(set.heap().census());
         let mut model = std::collections::BTreeSet::new();
         for op in ops {
             match op {
-                SetOp::Insert(k) => prop_assert_eq!(set.insert(k), model.insert(k)),
-                SetOp::Remove(k) => prop_assert_eq!(set.remove(k), model.remove(&k)),
-                SetOp::Contains(k) => prop_assert_eq!(set.contains(k), model.contains(&k)),
+                SetOp::Insert(k) => assert_eq!(set.insert(k), model.insert(k)),
+                SetOp::Remove(k) => assert_eq!(set.remove(k), model.remove(&k)),
+                SetOp::Contains(k) => assert_eq!(set.contains(k), model.contains(&k)),
             }
         }
-        prop_assert_eq!(set.len(), model.len());
+        assert_eq!(set.len(), model.len());
         drop(set);
-        prop_assert_eq!(census.live(), 0, "set leaked (marked stragglers?)");
-    }
+        assert_eq!(census.live(), 0, "set leaked (marked stragglers?)");
+    });
+}
 
-    #[test]
-    fn skiplist_matches_btreeset(ops in set_ops()) {
+#[test]
+fn skiplist_matches_btreeset() {
+    run_cases("skiplist_matches_btreeset", 0xA00B, |rng| {
+        let ops = set_ops(rng);
         let set: LfrcSkipList<McasWord> = LfrcSkipList::new();
-        let census = std::sync::Arc::clone(set.heap().census());
+        let census = Arc::clone(set.heap().census());
         let mut model = std::collections::BTreeSet::new();
         for op in ops {
             match op {
-                SetOp::Insert(k) => prop_assert_eq!(set.insert(k), model.insert(k)),
-                SetOp::Remove(k) => prop_assert_eq!(set.remove(k), model.remove(&k)),
-                SetOp::Contains(k) => prop_assert_eq!(set.contains(k), model.contains(&k)),
+                SetOp::Insert(k) => assert_eq!(set.insert(k), model.insert(k)),
+                SetOp::Remove(k) => assert_eq!(set.remove(k), model.remove(&k)),
+                SetOp::Contains(k) => assert_eq!(set.contains(k), model.contains(&k)),
             }
         }
-        prop_assert_eq!(set.len(), model.len());
+        assert_eq!(set.len(), model.len());
         drop(set);
-        prop_assert_eq!(census.live(), 0, "skip list leaked");
-    }
+        assert_eq!(census.live(), 0, "skip list leaked");
+    });
+}
 
-    #[test]
-    fn llsc_stack_matches_vec(ops in prop::collection::vec(
-        prop_oneof![(0u64..1_000_000).prop_map(Some), Just(None)], 0..200)
-    ) {
-        use lfrc_repro::structures::ConcurrentStack;
+#[test]
+fn llsc_stack_matches_vec() {
+    run_cases("llsc_stack_matches_vec", 0xA00C, |rng| {
         let s: LlscStack<McasWord> = LlscStack::new();
-        let census = std::sync::Arc::clone(s.heap().census());
+        let census = Arc::clone(s.heap().census());
         let mut model: Vec<u64> = Vec::new();
-        for op in ops {
+        for op in opt_ops(rng) {
             match op {
-                Some(v) => { s.push(v); model.push(v); }
-                None => prop_assert_eq!(s.pop(), model.pop()),
+                Some(v) => {
+                    s.push(v);
+                    model.push(v);
+                }
+                None => assert_eq!(s.pop(), model.pop()),
             }
         }
         while let Some(expected) = model.pop() {
-            prop_assert_eq!(s.pop(), Some(expected));
+            assert_eq!(s.pop(), Some(expected));
         }
         drop(s);
-        prop_assert_eq!(census.live(), 0);
-    }
+        assert_eq!(census.live(), 0);
+    });
 }

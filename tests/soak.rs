@@ -1,10 +1,12 @@
-//! Long-running soak tests — opt-in via `cargo test -- --ignored`.
+//! Wall-clock-bounded soak tests.
 //!
-//! The regular suite keeps each concurrent test under a few seconds so
-//! CI stays fast; these soaks run the same invariants (conservation I4,
-//! no-leak I3, zero rc-on-freed) for minutes of sustained churn, which
-//! is where epoch lag, descriptor recycling, and census accounting would
-//! drift if they were ever going to.
+//! By default each soak runs for ~2 seconds — long enough to exercise
+//! epoch lag, descriptor recycling, and census accounting under real
+//! preemption, short enough for every `cargo test` run. Set `LFRC_SOAK=1`
+//! for the full one-minute-per-test mode (what the nightly/manual soak
+//! used to be), e.g. `LFRC_SOAK=1 cargo test --release --test soak`.
+//! The invariants are the same in both modes: conservation I4, no-leak
+//! I3, zero rc-on-freed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -14,16 +16,19 @@ use lfrc_repro::core::McasWord;
 use lfrc_repro::deque::{ConcurrentDeque, LfrcSnarkRepaired};
 use lfrc_repro::structures::{ConcurrentQueue, ConcurrentStack, LfrcQueue, LfrcSkipList, LfrcStack};
 
-const SOAK: Duration = Duration::from_secs(60);
+/// Per-test wall-clock budget: 2 s by default, 60 s when `LFRC_SOAK=1`.
+fn soak_duration() -> Duration {
+    let long = std::env::var("LFRC_SOAK").is_ok_and(|v| v == "1");
+    Duration::from_secs(if long { 60 } else { 2 })
+}
 
 #[test]
-#[ignore = "soak test: ~1 minute of sustained deque churn"]
 fn deque_soak_conserves_and_reclaims() {
     let d: LfrcSnarkRepaired<McasWord> = LfrcSnarkRepaired::new();
     let census = Arc::clone(d.heap().census());
     let pushed = AtomicU64::new(0);
     let popped = AtomicU64::new(0);
-    let deadline = Instant::now() + SOAK;
+    let deadline = Instant::now() + soak_duration();
     std::thread::scope(|s| {
         for t in 0..4u64 {
             let (d, pushed, popped) = (&d, &pushed, &popped);
@@ -80,7 +85,6 @@ fn deque_soak_conserves_and_reclaims() {
 }
 
 #[test]
-#[ignore = "soak test: ~1 minute of mixed-structure churn in one process"]
 fn mixed_structures_soak() {
     let stack: LfrcStack<McasWord> = LfrcStack::new();
     let queue: LfrcQueue<McasWord> = LfrcQueue::new();
@@ -88,7 +92,7 @@ fn mixed_structures_soak() {
     let stack_census = Arc::clone(stack.heap().census());
     let queue_census = Arc::clone(queue.heap().census());
     let skip_census = Arc::clone(skip.heap().census());
-    let deadline = Instant::now() + SOAK;
+    let deadline = Instant::now() + soak_duration();
     std::thread::scope(|s| {
         for t in 0..6u64 {
             let (stack, queue, skip) = (&stack, &queue, &skip);
