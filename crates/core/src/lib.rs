@@ -35,6 +35,11 @@
 //!   plus the paper's §7 future-work extension: *incremental* destruction
 //!   that bounds the pause when the last pointer to a large structure is
 //!   dropped.
+//! * [`defer`] — the deferred fast path (DESIGN.md §5.9): pin-scoped
+//!   **uncounted** reads ([`Borrowed`], via
+//!   [`PtrField::load_deferred`]/[`Local::borrow`]) and a per-thread
+//!   decrement buffer ([`defer_destroy`]/[`flush_thread`]) that batches
+//!   `LFRCDestroy` under one epoch guard.
 //! * [`diag`] — allocation census, freed-object canaries, and a
 //!   quarantine mode used by the safety experiments.
 //!
@@ -83,6 +88,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod defer;
 pub mod destroy;
 pub mod diag;
 pub mod llsc;
@@ -92,6 +98,7 @@ pub mod ops;
 pub mod shared;
 
 pub use audit::{audit, AuditReport};
+pub use defer::{defer_destroy, flush_thread, pinned, Borrowed, Pin};
 pub use destroy::Backlog;
 pub use diag::Census;
 pub use llsc::LinkedPtrField;

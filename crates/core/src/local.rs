@@ -98,6 +98,24 @@ impl<T: Links<W>, W: DcasWord> Local<T, W> {
         this.object().ref_count()
     }
 
+    /// Borrows this reference for a pin scope — an uncounted
+    /// [`Borrowed`](crate::defer::Borrowed) view for the deferred fast
+    /// path (DESIGN.md §5.9). Copying and dereferencing the borrow moves
+    /// no counts; the `Local` itself keeps the object alive meanwhile.
+    pub fn borrow<'p>(this: &Self, pin: &'p crate::defer::Pin) -> crate::defer::Borrowed<'p, T, W> {
+        // Safety: `this` is counted (alive), and `pin` witnesses the
+        // epoch guard for the borrow's lifetime.
+        unsafe { crate::defer::Borrowed::from_raw(this.ptr.as_ptr(), pin) }
+            .expect("Local is never null")
+    }
+
+    /// Releases this reference through the calling thread's decrement
+    /// buffer instead of eagerly — `LFRCDestroy`, deferred (see
+    /// [`crate::defer::defer_destroy`]).
+    pub fn drop_deferred(this: Self) {
+        crate::defer::defer_destroy(this);
+    }
+
     fn object(&self) -> &LfrcBox<T, W> {
         // Safety: the count this Local owns keeps the object alive.
         unsafe { self.ptr.as_ref() }

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use lfrc_dcas::{DcasWord, MAX_PAYLOAD};
 
+use crate::defer::Borrowed;
 use crate::diag::{Census, CANARY_ALIVE, CANARY_FREED};
 use crate::local::Local;
 
@@ -184,6 +185,51 @@ impl<T: Links<W>, W: DcasWord> PtrField<T, W> {
         unsafe {
             crate::ops::load(self, &mut dest);
             Local::from_counted_raw(dest)
+        }
+    }
+
+    /// The deferred fast path (DESIGN.md §5.9): reads the pointer as a
+    /// **plain load** — no DCAS, no count — returning a pin-scoped
+    /// [`Borrowed`]. Upgrade with [`Borrowed::promote`] when a counted
+    /// reference is needed; validate link reads via
+    /// [`Borrowed::ref_count`] (see [`crate::defer`]).
+    ///
+    /// Also available on [`SharedField`](crate::SharedField) roots via
+    /// its `Deref` to `PtrField`.
+    pub fn load_deferred<'p>(&self, pin: &'p crate::defer::Pin) -> Option<Borrowed<'p, T, W>> {
+        // Safety: the object containing `self` is alive (caller holds it
+        // counted/borrowed, or it is a root); `pin` witnesses the epoch
+        // guard that keeps the referent mapped.
+        unsafe {
+            let p = crate::ops::load_deferred(self);
+            Borrowed::from_raw(p, pin)
+        }
+    }
+
+    /// `LFRCCAS` with a **borrowed** expectation: like
+    /// [`PtrField::compare_and_set`], but `expected` is a pin-scoped
+    /// [`Borrowed`] instead of a counted [`Local`] — the deferred fast
+    /// path's replace step, saving the counted load of the value being
+    /// swapped out. `expected` is identity-only; `new` still pays its
+    /// count (promote first). On success the displaced reference is
+    /// **parked** on the thread's decrement buffer
+    /// ([`crate::defer`]) rather than destroyed — the swap itself does
+    /// no decrement work.
+    pub fn compare_and_set_deferred(
+        &self,
+        expected: Option<&Borrowed<'_, T, W>>,
+        new: Option<&Local<T, W>>,
+    ) -> bool {
+        // Safety: `new` is a live counted reference (or null); `expected`
+        // is pin-scoped, which `ops::cas_deferred` explicitly permits for
+        // the expectation side (identity-only; the count parked on
+        // success is the location's own).
+        unsafe {
+            crate::ops::cas_deferred(
+                self,
+                Borrowed::option_as_raw(expected),
+                Local::option_as_ptr(new),
+            )
         }
     }
 

@@ -64,7 +64,14 @@ pub unsafe fn add_to_rc<T: Links<W>, W: DcasWord>(p: *mut LfrcBox<T, W>, v: i64)
 /// # Safety
 ///
 /// * The object containing `a` must be alive for the duration (the caller
-///   holds a counted reference to it, or `a` is a structure root).
+///   holds a counted reference to it, or `a` is a structure root), **or**
+///   its memory must be kept mapped by the emulation pin (a pin-scoped
+///   borrow, `crate::defer`). The second case is sound because the DCAS
+///   validates the field *atomically with* the increment: if the
+///   container was freed, harvest has nulled `a` (load returns null) or
+///   is about to (the DCAS fails and the retry observes the null) — a
+///   stale success is impossible, since the field's own count keeps the
+///   referent alive until the moment harvest clears it.
 /// * `*dest` must be null or a counted reference owned by the caller.
 /// * On return, `*dest` is a counted reference (or null) owned by the
 ///   caller.
@@ -107,6 +114,34 @@ pub unsafe fn load<T: Links<W>, W: DcasWord>(
     }
     // Safety: `olddest` was a caller-owned counted reference (or null).
     unsafe { destroy(olddest) }; // line 12
+}
+
+/// The deferred fast path's uncounted read (DESIGN.md §5.9): returns the
+/// pointer currently in `a` as a **plain load** — no DCAS, no count
+/// traffic. Compare [`load`]'s loop; this is one cell read.
+///
+/// The safe wrapper is
+/// [`PtrField::load_deferred`](crate::PtrField::load_deferred), which
+/// ties the result to a [`Pin`](crate::defer::Pin) scope.
+///
+/// # Safety
+///
+/// * The object containing `a` must be alive for the duration (as for
+///   [`load`]).
+/// * The caller must hold the emulator's epoch pin
+///   ([`crate::defer::pinned`] / `lfrc_dcas::with_guard`) for the entire
+///   lifetime of the returned pointer: the pin is all that keeps the
+///   referent's memory mapped, since no count is taken. The referent may
+///   be *logically* freed at any time — dereference only immutable
+///   payload, and validate via its reference count before trusting link
+///   reads (see `crate::defer`).
+pub unsafe fn load_deferred<T: Links<W>, W: DcasWord>(
+    a: &PtrField<T, W>,
+) -> *mut LfrcBox<T, W> {
+    // An uncounted read racing destroys by design — let the scheduler
+    // interleave here.
+    lfrc_dcas::instrument::yield_point(lfrc_dcas::InstrSite::BorrowLoad);
+    word_to_ptr(a.raw().load())
 }
 
 /// `LFRCStore` (Figure 2 lines 21–28): stores counted pointer `v` into
@@ -182,7 +217,14 @@ pub unsafe fn copy<T: Links<W>, W: DcasWord>(
 ///
 /// # Safety
 ///
-/// `old0`/`new0` must be null or counted references owned by the caller.
+/// `new0` must be null or a counted reference owned by the caller.
+/// `old0` must be null, a counted reference owned by the caller, **or a
+/// pin-scoped borrowed pointer** (`crate::defer`): `old0` is used only
+/// for identity before the swap — nothing dereferences it — and on
+/// success the reference destroyed is the *location's own* count (the
+/// location holding `old0` proves the object was alive). The pin rules
+/// out the address having been recycled, so word equality implies same
+/// object.
 pub unsafe fn cas<T: Links<W>, W: DcasWord>(
     a0: &PtrField<T, W>,
     old0: *mut LfrcBox<T, W>,
@@ -201,6 +243,41 @@ pub unsafe fn cas<T: Links<W>, W: DcasWord>(
         // thread eventually either creates the pointer, or decrements the
         // reference count to compensate").
         // Safety: we hold the +1 from above.
+        unsafe { destroy(new0) };
+        false
+    }
+}
+
+/// [`cas`] for the deferred fast path (DESIGN.md §5.9): identical swap
+/// semantics, but a successful swap **parks** the displaced reference on
+/// the calling thread's decrement buffer
+/// ([`crate::defer::defer_destroy_raw`]) instead of destroying it — the
+/// hot loop performs no decrement, no cascade, no free.
+///
+/// The failure-path compensation stays eager: the speculative `+1` on
+/// `new0` cannot be the last count (the caller holds `new0`), so undoing
+/// it never cascades.
+///
+/// # Safety
+///
+/// As for [`cas`] (including the borrowed-`old0` allowance).
+pub unsafe fn cas_deferred<T: Links<W>, W: DcasWord>(
+    a0: &PtrField<T, W>,
+    old0: *mut LfrcBox<T, W>,
+    new0: *mut LfrcBox<T, W>,
+) -> bool {
+    if !new0.is_null() {
+        // Safety: caller holds `new0` counted.
+        unsafe { add_to_rc(new0, 1) };
+    }
+    if a0.raw().compare_and_swap(ptr_to_word(old0), ptr_to_word(new0)) {
+        // Safety: success transferred the location's old reference to us;
+        // the buffer takes ownership of that count unit.
+        unsafe { crate::defer::defer_destroy_raw(old0) };
+        true
+    } else {
+        // Safety: we hold the +1 from above; see the eager note in the
+        // doc comment.
         unsafe { destroy(new0) };
         false
     }

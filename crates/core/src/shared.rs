@@ -20,7 +20,11 @@ use crate::object::{Links, PtrField};
 /// A shared pointer location with RAII release — for structure roots.
 ///
 /// Dereferences to [`PtrField`], so all the LFRC operations (`load`,
-/// `store`, `compare_and_set`, `dcas`, …) are available directly.
+/// `store`, `compare_and_set`, `dcas`, …) are available directly — as is
+/// the deferred fast path's
+/// [`load_deferred`](PtrField::load_deferred), which inside a
+/// [`pinned`](crate::defer::pinned) scope reads the root with a plain
+/// load instead of `LFRCLoad`'s DCAS (DESIGN.md §5.9).
 ///
 /// Do **not** use this type for pointer fields *inside* LFRC objects:
 /// those are released by the destruction cascade via

@@ -50,6 +50,24 @@ pub enum InstrSite {
     /// Deque: a repaired pop has won its structural DCAS but not yet
     /// claimed the value.
     DequePopBeforeClaim,
+    /// Deferred destroy: a counted reference is about to be appended to
+    /// the calling thread's decrement buffer (the count is parked, not
+    /// yet released — see `lfrc-core`'s `defer` module).
+    DeferAppend,
+    /// Deferred destroy: a buffer flush has pinned the epoch and is about
+    /// to apply its batched decrements.
+    DeferFlush,
+    /// Deferred destroy: the batched decrements have been applied; the
+    /// flush is about to attempt an epoch advance (physical reclamation).
+    DeferEpochAdvance,
+    /// An uncounted pin-scoped pointer read (the deferred fast path's
+    /// `load_deferred`/`borrow`) — no count is taken, so this read races
+    /// against concurrent destroys by design.
+    BorrowLoad,
+    /// A borrowed reference is being promoted to a counted one: between
+    /// reading a nonzero count and the CAS that increments it — the
+    /// CAS-only window of §1 made sound by the pin plus CAS-from-nonzero.
+    BorrowPromote,
 }
 
 impl InstrSite {
@@ -65,6 +83,11 @@ impl InstrSite {
             InstrSite::DequePopAfterReadHats => 7,
             InstrSite::DequePopBeforeDcas => 8,
             InstrSite::DequePopBeforeClaim => 9,
+            InstrSite::DeferAppend => 10,
+            InstrSite::DeferFlush => 11,
+            InstrSite::DeferEpochAdvance => 12,
+            InstrSite::BorrowLoad => 13,
+            InstrSite::BorrowPromote => 14,
         }
     }
 
@@ -80,6 +103,11 @@ impl InstrSite {
             InstrSite::DequePopAfterReadHats => "deque-pop-after-read-hats",
             InstrSite::DequePopBeforeDcas => "deque-pop-before-dcas",
             InstrSite::DequePopBeforeClaim => "deque-pop-before-claim",
+            InstrSite::DeferAppend => "defer-append",
+            InstrSite::DeferFlush => "defer-flush",
+            InstrSite::DeferEpochAdvance => "defer-epoch-advance",
+            InstrSite::BorrowLoad => "borrow-load",
+            InstrSite::BorrowPromote => "borrow-promote",
         }
     }
 }
@@ -163,6 +191,11 @@ mod tests {
             InstrSite::DequePopAfterReadHats,
             InstrSite::DequePopBeforeDcas,
             InstrSite::DequePopBeforeClaim,
+            InstrSite::DeferAppend,
+            InstrSite::DeferFlush,
+            InstrSite::DeferEpochAdvance,
+            InstrSite::BorrowLoad,
+            InstrSite::BorrowPromote,
         ];
         let mut tags: Vec<u64> = sites.iter().map(|s| s.tag()).collect();
         tags.sort_unstable();

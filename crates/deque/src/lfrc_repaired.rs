@@ -12,12 +12,14 @@
 //! The repaired pops exercise the LFRC methodology in an extra way: the
 //! claim is a plain single-word CAS on a cell *inside* an LFRC object,
 //! which is safe precisely because the popping thread holds a counted
-//! local reference (`rh`) to the node — the reference-count invariant is
-//! doing the work the paper promises.
+//! local reference to the node — obtained on the deferred fast path by
+//! [`Borrowed::promote`]-ing an uncounted pin-scoped hat read (DESIGN.md
+//! §5.9) — so the reference-count invariant is still doing the work the
+//! paper promises.
 
 use std::fmt;
 
-
+use lfrc_core::defer::{self, Borrowed};
 use lfrc_core::{DcasWord, Heap, Local, PtrField};
 
 use crate::lfrc_published::{LfrcSnark, SNode};
@@ -84,96 +86,131 @@ impl<W: DcasWord, P: PausePolicy> LfrcSnarkRepaired<W, P> {
         }
     }
 
-    /// `popRight` with value claiming.
+    /// `popRight` with value claiming — on the deferred fast path
+    /// (DESIGN.md §5.9).
+    ///
+    /// Both hats are read with **plain loads** (no `LFRCLoad` DCAS); an
+    /// empty-deque pop is therefore entirely count-free. Only once the
+    /// pop commits to a structural DCAS does it [`Borrowed::promote`] the
+    /// right hat — the claim CAS and the neighbor read require a counted
+    /// reference (see the module docs). The hat's own release after a
+    /// successful pop goes through the decrement buffer
+    /// ([`Local::drop_deferred`]), so the pop never pays a free inline.
     pub fn pop_right_impl(&self) -> Option<u64> {
-        loop {
-            let rh = self.inner.right_hat.load().expect("hat");
-            let lh = self.inner.left_hat.load().expect("hat");
+        defer::pinned(|pin| loop {
+            let rh = self.inner.right_hat.load_deferred(pin).expect("hat");
+            let lh = self.inner.left_hat.load_deferred(pin).expect("hat");
             P::pause(PauseSite::PopAfterReadHats);
             if rh.r.is_null() {
-                return None;
+                // Null may be the empty-deque marker or `rh`'s harvested
+                // field; a nonzero count after the read proves the former.
+                if Borrowed::ref_count(&rh) > 0 {
+                    return None;
+                }
+                continue;
             }
-            if Local::ptr_eq(&rh, &lh) {
+            if Borrowed::ptr_eq(&rh, &lh) {
+                // One promote covers both `old` arguments: the hats are
+                // the same node in the singleton regime.
+                let Some(rh_c) = Borrowed::promote(&rh) else {
+                    continue; // hat died before we could hold it
+                };
                 let dummy = self.dummy();
                 P::pause(PauseSite::PopBeforeDcas);
                 if PtrField::dcas(
                     &self.inner.right_hat,
                     &self.inner.left_hat,
-                    Some(&rh),
-                    Some(&lh),
+                    Some(&rh_c),
+                    Some(&rh_c),
                     Some(&dummy),
                     Some(&dummy),
                 ) {
-                    if let Some(v) = Self::claim(&rh) {
+                    if let Some(v) = Self::claim(&rh_c) {
+                        Local::drop_deferred(rh_c);
                         return Some(v);
                     }
                     // Lost the claim: the value went to the other end's
                     // pop; retry from scratch.
                 }
             } else {
-                let rh_l = rh.l.load();
+                let Some(rh_c) = Borrowed::promote(&rh) else {
+                    continue;
+                };
+                let rh_l = rh_c.l.load();
                 P::pause(PauseSite::PopBeforeDcas);
                 if PtrField::dcas(
                     &self.inner.right_hat,
-                    &rh.l,
-                    Some(&rh),
+                    &rh_c.l,
+                    Some(&rh_c),
                     rh_l.as_ref(),
                     rh_l.as_ref(),
                     None,
                 ) {
-                    if let Some(v) = Self::claim(&rh) {
+                    if let Some(v) = Self::claim(&rh_c) {
                         let dummy = self.dummy();
-                        rh.r.store(Some(&dummy));
+                        rh_c.r.store(Some(&dummy));
+                        Local::drop_deferred(rh_c);
                         return Some(v);
                     }
                 }
             }
-        }
+        })
     }
 
-    /// `popLeft` with value claiming.
+    /// `popLeft` with value claiming — mirror of [`Self::pop_right_impl`].
     pub fn pop_left_impl(&self) -> Option<u64> {
-        loop {
-            let lh = self.inner.left_hat.load().expect("hat");
-            let rh = self.inner.right_hat.load().expect("hat");
+        defer::pinned(|pin| loop {
+            let lh = self.inner.left_hat.load_deferred(pin).expect("hat");
+            let rh = self.inner.right_hat.load_deferred(pin).expect("hat");
             P::pause(PauseSite::PopAfterReadHats);
             if lh.l.is_null() {
-                return None;
+                if Borrowed::ref_count(&lh) > 0 {
+                    return None;
+                }
+                continue;
             }
-            if Local::ptr_eq(&lh, &rh) {
+            if Borrowed::ptr_eq(&lh, &rh) {
+                let Some(lh_c) = Borrowed::promote(&lh) else {
+                    continue;
+                };
                 let dummy = self.dummy();
                 P::pause(PauseSite::PopBeforeDcas);
                 if PtrField::dcas(
                     &self.inner.left_hat,
                     &self.inner.right_hat,
-                    Some(&lh),
-                    Some(&rh),
+                    Some(&lh_c),
+                    Some(&lh_c),
                     Some(&dummy),
                     Some(&dummy),
                 ) {
-                    if let Some(v) = Self::claim(&lh) {
+                    if let Some(v) = Self::claim(&lh_c) {
+                        Local::drop_deferred(lh_c);
                         return Some(v);
                     }
                 }
             } else {
-                let lh_r = lh.r.load();
+                let Some(lh_c) = Borrowed::promote(&lh) else {
+                    continue;
+                };
+                let lh_r = lh_c.r.load();
                 P::pause(PauseSite::PopBeforeDcas);
                 if PtrField::dcas(
                     &self.inner.left_hat,
-                    &lh.r,
-                    Some(&lh),
+                    &lh_c.r,
+                    Some(&lh_c),
                     lh_r.as_ref(),
                     lh_r.as_ref(),
                     None,
                 ) {
-                    if let Some(v) = Self::claim(&lh) {
+                    if let Some(v) = Self::claim(&lh_c) {
                         let dummy = self.dummy();
-                        lh.l.store(Some(&dummy));
+                        lh_c.l.store(Some(&dummy));
+                        Local::drop_deferred(lh_c);
                         return Some(v);
                     }
                 }
             }
-        }
+        })
     }
 }
 
@@ -216,6 +253,10 @@ mod tests {
         let census = std::sync::Arc::clone(d.heap().census());
         crate::exercise::conservation(&d, 6, 4_000);
         drop(d);
+        // Pops park hat decrements on per-thread buffers; the worker
+        // threads flush on exit but this thread's buffer must be flushed
+        // by hand before the census is inspected.
+        lfrc_core::defer::flush_thread();
         assert_eq!(census.live(), 0);
     }
 

@@ -208,6 +208,10 @@ pub(crate) mod exercise {
                             }
                         }
                     }
+                    // `std::thread::scope` can return before TLS
+                    // destructors run, so flush the decrement buffer
+                    // explicitly — census asserts follow the scope.
+                    lfrc_core::defer::flush_thread();
                 });
             }
         });

@@ -23,4 +23,4 @@ pub use latency::LatencyHistogram;
 pub use memstat::{rss_bytes, MemSeries};
 pub use runner::{run_for_duration, run_ops, RunStats};
 pub use table::Table;
-pub use workload::{DequeOp, DequeWorkload, Mix, SplitMix64};
+pub use workload::{DequeOp, DequeWorkload, Mix, SetOp, SetWorkload, SplitMix64};

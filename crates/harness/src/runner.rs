@@ -60,6 +60,12 @@ where
                 for i in 0..ops_per_thread {
                     body(t, i);
                 }
+                // Deferred-fast-path workloads park decrements on the
+                // worker's buffer, and `std::thread::scope` can return
+                // before TLS exit flushes run — flush explicitly so
+                // callers can inspect censuses right after this returns
+                // (see lfrc_core::defer).
+                lfrc_core::defer::flush_thread();
             });
         }
         // Stamp *before* releasing the barrier: on a loaded (or
@@ -114,6 +120,7 @@ where
                     i += 1;
                 }
                 total.fetch_add(done, Ordering::AcqRel);
+                lfrc_core::defer::flush_thread();
             });
         }
         start.set(Instant::now()).expect("set once");

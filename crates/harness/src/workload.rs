@@ -144,6 +144,60 @@ impl DequeWorkload {
     }
 }
 
+/// One set operation of a generated workload (E10: read-heavy
+/// traversals over the skiplist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Membership query.
+    Contains(u64),
+    /// Insert a key.
+    Insert(u64),
+    /// Remove a key.
+    Remove(u64),
+}
+
+/// A per-thread deterministic stream of set operations with a
+/// configurable read fraction.
+///
+/// Keys are drawn uniformly from `[0, key_space)`; `read_percent` of
+/// the operations are [`SetOp::Contains`], the rest split evenly
+/// between inserts and removes so the set size stays roughly stable.
+#[derive(Debug)]
+pub struct SetWorkload {
+    rng: SplitMix64,
+    read_percent: u64,
+    key_space: u64,
+}
+
+impl SetWorkload {
+    /// Creates the stream for one thread of an experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_percent > 100` or `key_space == 0`.
+    pub fn new(seed: u64, thread: usize, read_percent: u64, key_space: u64) -> Self {
+        assert!(read_percent <= 100, "read_percent is a percentage");
+        assert!(key_space > 0, "key_space must be nonempty");
+        SetWorkload {
+            rng: SplitMix64::for_thread(seed, thread),
+            read_percent,
+            key_space,
+        }
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> SetOp {
+        let key = self.rng.below(self.key_space);
+        if self.rng.chance(self.read_percent) {
+            SetOp::Contains(key)
+        } else if self.rng.chance(50) {
+            SetOp::Insert(key)
+        } else {
+            SetOp::Remove(key)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +235,32 @@ mod tests {
             if let DequeOp::PushLeft(v) | DequeOp::PushRight(v) = w.next_op() {
                 assert!(seen.insert(v), "duplicate generated value {v}");
             }
+        }
+    }
+
+    #[test]
+    fn set_workload_respects_read_fraction() {
+        let mut w = SetWorkload::new(11, 2, 90, 512);
+        let mut reads = 0usize;
+        for _ in 0..10_000 {
+            match w.next_op() {
+                SetOp::Contains(k) => {
+                    assert!(k < 512);
+                    reads += 1;
+                }
+                SetOp::Insert(k) | SetOp::Remove(k) => assert!(k < 512),
+            }
+        }
+        // 90% nominal; allow generous slack for a 10k sample.
+        assert!((8_500..=9_500).contains(&reads), "reads = {reads}");
+    }
+
+    #[test]
+    fn set_workload_is_deterministic() {
+        let mut a = SetWorkload::new(5, 1, 75, 64);
+        let mut b = SetWorkload::new(5, 1, 75, 64);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_op(), b.next_op());
         }
     }
 

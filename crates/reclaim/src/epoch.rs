@@ -586,6 +586,18 @@ impl Guard<'_> {
     }
 
     /// Eagerly attempts an advance-and-collect cycle while pinned.
+    ///
+    /// A pin at the **current** global epoch does not block advancement
+    /// (only pins at *older* epochs do — see `Collector::try_advance`),
+    /// so calling this from inside the guard that retired a batch still
+    /// moves the epoch one step forward. It does *not* free that same
+    /// batch: garbage stamped at epoch `e` needs the global epoch to
+    /// reach `e + 2`, and after the first advance our own pin is the
+    /// older-epoch straggler that blocks the second. The deferred-
+    /// decrement flush in `lfrc-core` (DESIGN.md §5.9) relies on exactly
+    /// this one-step nudge: each flush's pin re-announces the fresh
+    /// epoch, so flush *N*'s garbage becomes reclaimable during flush
+    /// *N + 1* — a one-cycle lag, never a stall.
     pub fn collect(&self) {
         self.local.collect();
     }
@@ -684,6 +696,58 @@ mod tests {
         let survivor = c.register();
         survivor.flush();
         assert_eq!(c.stats().pending(), 0);
+    }
+
+    #[test]
+    fn collect_under_own_pin_advances_one_step_per_cycle() {
+        // The deferred-decrement flush (lfrc-core `defer`, DESIGN.md §5.9)
+        // runs `guard.collect()` while the flushing thread is itself
+        // pinned. Lock in the exact progress guarantee it relies on: a
+        // pin at the *current* epoch permits one advance (so the flush is
+        // not a no-op), and the batch it retired becomes reclaimable on
+        // the *next* pin-and-collect cycle — a one-cycle lag, not a stall.
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Noisy;
+        impl Drop for Noisy {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+
+        let c = Collector::new();
+        let h = c.register();
+
+        let before = c.epoch();
+        {
+            let g = h.pin();
+            let p = Box::into_raw(Box::new(Noisy));
+            unsafe { g.defer_destroy(p) };
+            // Still pinned: collect may advance once (our announcement is
+            // current), then our own pin becomes the older-epoch
+            // straggler, so further advances and the free are deferred.
+            for _ in 0..4 {
+                g.collect();
+            }
+        }
+        assert_eq!(
+            c.epoch(),
+            before + 1,
+            "a pin at the current epoch must allow exactly one advance"
+        );
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+
+        // Next cycle: the fresh pin announces the new epoch, so collect
+        // can advance again and reap the previous cycle's garbage.
+        {
+            let g = h.pin();
+            g.collect();
+        }
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            1,
+            "the previous cycle's batch must be reclaimed one cycle later"
+        );
     }
 
     #[test]

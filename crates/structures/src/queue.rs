@@ -12,7 +12,8 @@ use std::fmt;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
-use lfrc_core::{DcasWord, Heap, Links, Local, PtrField, SharedField};
+use lfrc_core::defer::{self, Borrowed};
+use lfrc_core::{DcasWord, Heap, Links, PtrField, SharedField};
 use lfrc_reclaim::Collector;
 
 use crate::stack::with_gc_guard;
@@ -266,49 +267,70 @@ impl<W: DcasWord> LfrcQueue<W> {
 }
 
 impl<W: DcasWord> ConcurrentQueue for LfrcQueue<W> {
+    /// Deferred fast path (DESIGN.md §5.9): the tail is read with a plain
+    /// load, then **promoted** before anything is installed into its
+    /// `next` — installing into a freed node's harvested field would
+    /// strand the new node (harvest already ran; nothing would ever
+    /// release it), so the promote's held count is load-bearing here, not
+    /// an optimization.
     fn enqueue(&self, value: u64) {
         let node = self.heap.alloc(LfrcQueueNode {
             value,
             next: PtrField::null(),
         });
-        loop {
-            let tail = self.tail.load().expect("tail is never null");
-            let next = tail.next.load();
+        defer::pinned(|pin| loop {
+            let tail = self.tail.load_deferred(pin).expect("tail is never null");
+            let Some(tail_l) = Borrowed::promote(&tail) else {
+                continue; // tail died before we could hold it; re-read
+            };
+            let next = tail_l.next.load(); // counted; `tail_l` keeps it sound
             match next {
                 None => {
-                    if tail.next.compare_and_set(None, Some(&node)) {
+                    if tail_l.next.compare_and_set(None, Some(&node)) {
                         // Linearized; swing the tail (ok to fail).
-                        let _ = self.tail.compare_and_set(Some(&tail), Some(&node));
+                        let _ = self
+                            .tail
+                            .compare_and_set_deferred(Some(&tail), Some(&node));
                         return;
                     }
                 }
                 Some(ref next) => {
                     // Help the lagging enqueuer.
-                    let _ = self.tail.compare_and_set(Some(&tail), Some(next));
+                    let _ = self.tail.compare_and_set_deferred(Some(&tail), Some(next));
                 }
             }
-        }
+        })
     }
 
+    /// Deferred fast path: head and tail are plain loads; the only DCAS
+    /// rounds are the `next` load and the head swing. The swing parks the
+    /// old sentinel's count on the decrement buffer, so a dequeue never
+    /// pays the sentinel's free (the paper's per-dequeue pause) inline.
     fn dequeue(&self) -> Option<u64> {
-        loop {
-            let head = self.head.load().expect("head is never null");
-            let tail = self.tail.load().expect("tail is never null");
-            let next = head.next.load();
+        defer::pinned(|pin| loop {
+            let head = self.head.load_deferred(pin).expect("head is never null");
+            let tail = self.tail.load_deferred(pin).expect("tail is never null");
+            let next = head.next.load(); // sound even if `head` died (see ops::load)
             let Some(next) = next else {
-                return None;
+                // Null may be genuine (empty queue) or `head`'s harvested
+                // field. A nonzero count *after* the read proves harvest
+                // had not begun when we read it.
+                if Borrowed::ref_count(&head) > 0 {
+                    return None;
+                }
+                continue;
             };
-            if Local::ptr_eq(&head, &tail) {
-                let _ = self.tail.compare_and_set(Some(&tail), Some(&next));
+            if Borrowed::ptr_eq(&head, &tail) {
+                let _ = self.tail.compare_and_set_deferred(Some(&tail), Some(&next));
                 continue;
             }
             let value = next.value; // counted reference: safe read
-            if self.head.compare_and_set(Some(&head), Some(&next)) {
-                // Old sentinel's count drains as locals drop; freed with
-                // no grace period and no freelist.
+            if self.head.compare_and_set_deferred(Some(&head), Some(&next)) {
+                // Old sentinel's location count is parked; its free (and
+                // cascade) runs at the next flush instead of here.
                 return Some(value);
             }
-        }
+        })
     }
 
     fn impl_name(&self) -> String {
@@ -357,6 +379,9 @@ mod tests {
                     for i in 0..per {
                         q.enqueue(t as u64 * per + i + 1);
                     }
+                    // Explicit: `scope` can return before this thread's
+                    // TLS-destructor flush runs, racing the census read.
+                    lfrc_core::defer::flush_thread();
                 });
             }
             for _ in 0..threads {
@@ -379,6 +404,7 @@ mod tests {
                             }
                         }
                     }
+                    lfrc_core::defer::flush_thread();
                 });
             }
         });
@@ -413,6 +439,7 @@ mod tests {
         let census = std::sync::Arc::clone(q.heap().census());
         exercise_concurrent(&q, 4, 3_000);
         drop(q);
+        lfrc_core::defer::flush_thread(); // main thread's parked counts
         assert_eq!(census.live(), 0, "LFRC queue leaked nodes");
     }
 
@@ -456,6 +483,7 @@ mod tests {
             q.enqueue(v);
         }
         drop(q);
+        lfrc_core::defer::flush_thread(); // tail swings parked counts
         assert_eq!(census.live(), 0);
     }
 

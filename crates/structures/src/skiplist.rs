@@ -15,13 +15,16 @@
 //!   linearization point), then index the upper levels best-effort;
 //! * `remove` — CAS the mark (linearization point), then best-effort
 //!   unlink at every level (finds help);
-//! * `contains` — standard top-down descent, skipping marked nodes.
+//! * `contains` — top-down descent on the deferred fast path (plain
+//!   loads under a pin, rc-validated — DESIGN.md §5.9), with
+//!   [`SkipList::contains_counted`] as the per-hop-`LFRCLoad` baseline.
 //!
 //! Garbage stays cycle-free: all tower pointers aim forward (toward
 //! larger keys), so step 3 of the methodology holds untouched.
 
 use std::fmt;
 
+use lfrc_core::defer::{self, Borrowed};
 use lfrc_core::{DcasWord, Heap, Links, Local, PtrField, SharedField};
 
 use crate::set::MAX_KEY;
@@ -286,8 +289,65 @@ impl<W: DcasWord> LfrcSkipList<W> {
         }
     }
 
-    /// Membership test.
+    /// Membership test — the deferred fast path (DESIGN.md §5.9).
+    ///
+    /// The whole traversal runs inside one [`defer::pinned`] scope with
+    /// **plain pointer loads**: no DCAS, no count traffic per hop — versus
+    /// one `LFRCLoad` DCAS per hop for [`contains_counted`]. A hop may
+    /// land on a node that was concurrently freed (the pin keeps its
+    /// memory mapped); soundness comes from validation, not counts:
+    ///
+    /// * a null link may be a harvested field on a freed node — reading a
+    ///   nonzero [`Borrowed::ref_count`] *after* the read proves the null
+    ///   was genuine, otherwise restart;
+    /// * at a key match, a nonzero count after the match proves `curr`
+    ///   was a real, reachable node when its key was read.
+    ///
+    /// Keys are immutable payload (readable even on a freed node), so the
+    /// comparisons in between need no validation of their own.
     pub fn contains(&self, key: u64) -> bool {
+        let ekey = encode_key(key);
+        defer::pinned(|pin| 'restart: loop {
+            let Some(mut pred) = self.head.load_deferred(pin) else {
+                return false; // only during teardown
+            };
+            for lvl in (0..MAX_HEIGHT).rev() {
+                let mut curr = match pred.next[lvl].load_deferred(pin) {
+                    Some(c) => c,
+                    None => {
+                        if Borrowed::ref_count(&pred) == 0 {
+                            continue 'restart; // harvested, not "level empty"
+                        }
+                        continue;
+                    }
+                };
+                while curr.key < ekey {
+                    let next = match curr.next[lvl].load_deferred(pin) {
+                        Some(n) => n,
+                        None => {
+                            if Borrowed::ref_count(&curr) == 0 {
+                                continue 'restart;
+                            }
+                            break;
+                        }
+                    };
+                    pred = curr;
+                    curr = next;
+                }
+                if curr.key == ekey {
+                    if Borrowed::ref_count(&curr) == 0 {
+                        continue 'restart; // freed under us; re-traverse
+                    }
+                    return curr.marked.load() == 0;
+                }
+            }
+            return false;
+        })
+    }
+
+    /// Membership test via counted loads (`LFRCLoad` per hop) — the
+    /// baseline [`contains`] is measured against in experiment E10.
+    pub fn contains_counted(&self, key: u64) -> bool {
         let ekey = encode_key(key);
         let mut pred = self.head.load().expect("head sentinel");
         for lvl in (0..MAX_HEIGHT).rev() {
@@ -448,6 +508,59 @@ mod tests {
             }
         });
         assert_eq!(s.len() as u64, net.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn deferred_and_counted_contains_agree() {
+        let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+        for k in 0..256u64 {
+            s.insert(k);
+        }
+        for k in (0..256u64).step_by(3) {
+            s.remove(k);
+        }
+        // Quiescent: the deferred traversal and the counted baseline must
+        // answer identically for every key.
+        for k in 0..300u64 {
+            assert_eq!(s.contains(k), s.contains_counted(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn deferred_contains_survives_concurrent_churn() {
+        // Readers on the deferred path race inserts/removes that free
+        // nodes mid-traversal; the rc validation must keep every answer
+        // plausible (no panic, no wrong answer for keys nobody touches).
+        const STABLE: u64 = 999; // outside the churned range
+        let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+        s.insert(STABLE);
+        let barrier = Barrier::new(3);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let (s, barrier) = (&s, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for round in 0..60 {
+                        for k in 0..48u64 {
+                            s.insert(k);
+                        }
+                        for k in 0..48u64 {
+                            s.remove(k);
+                        }
+                        let _ = round;
+                    }
+                });
+            }
+            let (s, barrier) = (&s, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..4_000 {
+                    assert!(s.contains(STABLE), "stable key lost mid-churn");
+                    let _ = s.contains(17); // churned key: any answer is fine
+                }
+            });
+        });
+        assert!(s.contains(STABLE));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::fmt;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
+use lfrc_core::defer::{self, Borrowed};
 use lfrc_core::{DcasWord, Heap, Links, PtrField, SharedField};
 use lfrc_reclaim::{Collector, LocalHandle};
 
@@ -263,31 +264,56 @@ impl<W: DcasWord> LfrcStack<W> {
 }
 
 impl<W: DcasWord> ConcurrentStack for LfrcStack<W> {
+    /// Deferred fast path (DESIGN.md §5.9): the head is read with a plain
+    /// load instead of `LFRCLoad`'s DCAS; the only count taken per
+    /// attempt is the promote that our fresh node's `next` must own.
     fn push(&self, value: u64) {
         let node = self.heap.alloc(LfrcStackNode {
             value,
             next: PtrField::null(),
         });
-        loop {
-            let head = self.head.load(); // LFRCLoad
-            node.next.store(head.as_ref()); // LFRCStore
-            if self.head.compare_and_set(head.as_ref(), Some(&node)) {
-                // LFRCCAS succeeded; `head`/`node` Locals drop = destroy.
+        defer::pinned(|pin| loop {
+            let head = self.head.load_deferred(pin);
+            match head.as_ref() {
+                Some(h) => {
+                    // Installing into our *own* unpublished node, but the
+                    // installed reference must be counted — promote, and
+                    // restart if the borrowed head died under us.
+                    let Some(counted) = Borrowed::promote(h) else {
+                        continue;
+                    };
+                    node.next.store_consume(counted);
+                }
+                None => node.next.store(None),
+            }
+            if self.head.compare_and_set_deferred(head.as_ref(), Some(&node)) {
+                // Success: the old head's location count is parked on the
+                // decrement buffer; `node` drops (its count lives in the
+                // head field now).
                 return;
             }
-        }
+        })
     }
 
+    /// Deferred fast path: one plain load + one counted `next` load + one
+    /// CAS — versus three DCAS rounds for the eager version. No rc
+    /// validation is needed: the CAS can only succeed while the head
+    /// field still holds `head`, and a field's own count keeps its
+    /// referent alive, so success proves every prior read (immutable
+    /// `value`, publication-frozen `next`) saw a live node.
     fn pop(&self) -> Option<u64> {
-        loop {
-            let head = self.head.load()?; // LFRCLoad; None = empty
-            let next = head.next.load(); // safe: `head` is counted
-            if self.head.compare_and_set(Some(&head), next.as_ref()) {
-                // The node is ours; its count drains when `head` drops,
-                // freeing it immediately (no grace period, no freelist).
-                return Some(head.value);
+        defer::pinned(|pin| loop {
+            let Some(head) = self.head.load_deferred(pin) else {
+                return None; // empty
+            };
+            let value = head.value; // immutable; validated by the CAS
+            let next = head.next.load(); // sound even if `head` died (see ops::load)
+            if self.head.compare_and_set_deferred(Some(&head), next.as_ref()) {
+                // The popped node's count is parked, not destroyed: the
+                // free (and any cascade) happens at the next flush.
+                return Some(value);
             }
-        }
+        })
     }
 
     fn impl_name(&self) -> String {
@@ -329,6 +355,9 @@ mod tests {
                     for i in 0..per {
                         s.push(t as u64 * per + i + 1);
                     }
+                    // Explicit: `scope` can return before this thread's
+                    // TLS-destructor flush runs, racing the census read.
+                    lfrc_core::defer::flush_thread();
                 });
             }
             for _ in 0..threads {
@@ -351,6 +380,7 @@ mod tests {
                             }
                         }
                     }
+                    lfrc_core::defer::flush_thread();
                 });
             }
         });
@@ -385,6 +415,9 @@ mod tests {
         let census = std::sync::Arc::clone(s.heap().census());
         exercise_concurrent(&s, 4, 3_000);
         drop(s);
+        // Worker threads flushed their decrement buffers on exit; the
+        // main thread (which drained the stack) flushes explicitly.
+        lfrc_core::defer::flush_thread();
         assert_eq!(census.live(), 0, "LFRC stack leaked nodes");
     }
 
@@ -399,6 +432,9 @@ mod tests {
             }
             assert_eq!(s.heap().census().live(), 1_000, "burst {burst}");
             while s.pop().is_some() {}
+            // Popped counts are parked on the decrement buffer; memory
+            // shrinks at the flush (bounded by FLUSH_THRESHOLD).
+            lfrc_core::defer::flush_thread();
             assert_eq!(s.heap().census().live(), 0, "burst {burst}: did not shrink");
         }
     }
@@ -421,6 +457,7 @@ mod tests {
             s.push(v);
         }
         drop(s); // 10k-deep cascade must not overflow the thread stack
+        lfrc_core::defer::flush_thread(); // release push-parked units
         assert_eq!(census.live(), 0);
     }
 }

@@ -42,6 +42,10 @@ fn main() {
         while lfrc.pop().is_some() {}
         while valois.pop().is_some() {}
         while gc.pop().is_some() {}
+        // Pops park their decrements on this thread's buffer (the
+        // deferred fast path, DESIGN.md §5.9); flush so the footprint
+        // reflects a quiesced thread.
+        lfrc_core::flush_thread();
         footprint(&format!("drain {cycle}"), &lfrc, &valois, &gc);
     }
     lfrc_structures::flush_thread(gc.collector());
@@ -49,8 +53,9 @@ fn main() {
 
     println!(
         "\nreading the columns:\n\
-         * lfrc   — returns to 0 after every drain: nodes went back to\n\
-           the general allocator the instant their counts hit zero.\n\
+         * lfrc   — returns to 0 after every drain: once the thread's\n\
+           decrement buffer flushes, nodes go straight back to the\n\
+           general allocator.\n\
          * valois — plateaus at the high-water mark forever: type-stable\n\
            freelist memory can never be reused for anything else (the\n\
            cost of making CAS-only counting safe).\n\

@@ -60,6 +60,10 @@ fn main() {
     println!("== AFTER: the LFRC (GC-independent) Treiber stack ==");
     let lfrc: LfrcStack<McasWord> = LfrcStack::new();
     let after = churn(&lfrc, "lfrc");
+    // The stack's hot loops run the deferred fast path (DESIGN.md §5.9):
+    // pops park decrements on this thread's buffer, so flush before
+    // reading the census.
+    lfrc_core::flush_thread();
     println!(
         "  census: {} allocated, {} freed, {} live",
         lfrc.heap().census().allocs(),

@@ -49,6 +49,9 @@ fn conserve_deque(d: &dyn ConcurrentDeque, threads: usize, ops_per_thread: u64, 
     while let Some(v) = d.pop_left() {
         checker.popped(v);
     }
+    // The drain parks decrements on this thread's buffer; flush so
+    // callers can assert on the census immediately.
+    lfrc_repro::core::flush_thread();
     checker
         .verify()
         .unwrap_or_else(|e| panic!("{}: {e}", d.impl_name()));
@@ -254,6 +257,74 @@ fn mixed_structures_share_one_process_cleanly() {
     assert_eq!(stack_census.live(), 0);
     assert_eq!(queue_census.live(), 0);
     lfrc_repro::dcas::quiesce();
+}
+
+// ---------------------------------------------------------------------
+// Deferred-decrement buffers across thread exit (DESIGN.md §5.9): a
+// thread that dies — normally or by panic — with a non-empty decrement
+// buffer must flush it on the way out, so no object is ever leaked by
+// deferral. `std::thread::spawn`+`join` is used deliberately: unlike
+// `std::thread::scope`, `join` returns only after the thread's TLS
+// destructors (and therefore its exit flush) have run.
+// ---------------------------------------------------------------------
+
+#[test]
+fn thread_exit_with_nonempty_buffer_flushes() {
+    let stack: Arc<LfrcStack<McasWord>> = Arc::new(LfrcStack::new());
+    let census = Arc::clone(stack.heap().census());
+    let worker = {
+        let stack = Arc::clone(&stack);
+        std::thread::spawn(move || {
+            // Each pop parks the old head's decrement on this thread's
+            // buffer; 8 entries stay below the flush threshold, so the
+            // buffer is guaranteed non-empty at exit.
+            for v in 1..=8u64 {
+                stack.push(v);
+            }
+            for _ in 0..8 {
+                stack.pop();
+            }
+            assert!(
+                lfrc_repro::core::defer::pending_decrements() > 0,
+                "test is vacuous: buffer already empty before thread exit"
+            );
+        })
+    };
+    worker.join().expect("worker should exit cleanly");
+    drop(stack);
+    assert_eq!(
+        census.live(),
+        0,
+        "thread exited with buffered decrements that never flushed"
+    );
+}
+
+#[test]
+fn thread_panic_with_nonempty_buffer_flushes() {
+    let stack: Arc<LfrcStack<McasWord>> = Arc::new(LfrcStack::new());
+    let census = Arc::clone(stack.heap().census());
+    let worker = {
+        let stack = Arc::clone(&stack);
+        std::thread::spawn(move || {
+            for v in 1..=8u64 {
+                stack.push(v);
+            }
+            for _ in 0..8 {
+                stack.pop();
+            }
+            assert!(lfrc_repro::core::defer::pending_decrements() > 0);
+            // Unwind with the buffer non-empty: the TLS destructor must
+            // still flush during thread teardown.
+            panic!("deliberate test panic with non-empty decrement buffer");
+        })
+    };
+    assert!(worker.join().is_err(), "worker must have panicked");
+    drop(stack);
+    assert_eq!(
+        census.live(),
+        0,
+        "panicking thread leaked its buffered decrements"
+    );
 }
 
 #[test]

@@ -109,6 +109,9 @@ fn lfrc_snark_repaired_matches_vecdeque() {
         let census = Arc::clone(d.heap().census());
         check_deque_against_model(&d, &ops);
         drop(d);
+        // Repaired pops park decrements on this thread's buffer
+        // (DESIGN.md §5.9); flush before inspecting the census.
+        lfrc_repro::core::flush_thread();
         assert_eq!(census.live(), 0, "leak detected");
     });
 }
@@ -173,6 +176,7 @@ fn lfrc_stack_matches_vec() {
             assert_eq!(s.pop(), Some(expected));
         }
         drop(s);
+        lfrc_repro::core::flush_thread();
         assert_eq!(census.live(), 0);
     });
 }
@@ -196,6 +200,7 @@ fn lfrc_queue_matches_vecdeque() {
             assert_eq!(q.dequeue(), Some(expected));
         }
         drop(q);
+        lfrc_repro::core::flush_thread();
         assert_eq!(census.live(), 0);
     });
 }
@@ -390,6 +395,118 @@ fn rc_invariant_under_explored_schedules_mcas() {
 #[test]
 fn rc_invariant_under_explored_schedules_lock() {
     rc_invariant_under_explored_schedules::<LockWord>(0..600);
+}
+
+/// The deferred-fast-path analogue of
+/// [`rc_invariant_under_explored_schedules`]: three logical threads race
+/// pin-scoped **borrowed** reads ([`PtrField::load_deferred`]),
+/// promotions, deferred CASes (which *park* the displaced count on the
+/// thread's decrement buffer), explicit mid-body flushes, and destroys,
+/// all through the cooperative scheduler — so the new `BorrowLoad`,
+/// `BorrowPromote`, `DeferAppend`, `DeferFlush` and `DeferEpochAdvance`
+/// windows interleave with `LFRCDestroy` in every explored order.
+///
+/// After every buffer has flushed, the weakened invariant must have cost
+/// nothing: **zero live objects** (deferral only delays reclamation, it
+/// never loses a decrement) and **zero canary hits** (no borrow ever
+/// touched freed memory outside its pin, and no promote resurrected a
+/// dead object).
+fn deferred_rc_invariant_under_explored_schedules<W: DcasWord>(seeds: std::ops::Range<u64>) {
+    use lfrc_repro::core::defer::{self, Borrowed};
+    for seed in seeds {
+        let heap: Heap<SchedNode<W>, W> = Heap::new();
+        let census = Arc::clone(heap.census());
+        {
+            let shared: [SharedField<SchedNode<W>, W>; 2] =
+                [SharedField::null(), SharedField::null()];
+            let seed_node = heap.alloc(SchedNode { id: 0, next: PtrField::null() });
+            shared[0].store(Some(&seed_node));
+            shared[1].store(Some(&seed_node));
+            drop(seed_node);
+
+            {
+                let (heap, shared) = (&heap, &shared);
+                let bodies: Vec<Body<'_>> = (0..3u64)
+                    .map(|t| {
+                        let body: Body<'_> = Box::new(move || {
+                            let mut held = Vec::new();
+                            for i in 0..3u64 {
+                                let f = &shared[(t + i) as usize % 2];
+                                let fresh = heap.alloc(SchedNode {
+                                    id: t * 10 + i,
+                                    next: PtrField::null(),
+                                });
+                                defer::pinned(|pin| {
+                                    // Borrowed read: uncounted, kept
+                                    // mapped only by the pin.
+                                    let b = f.load_deferred(pin);
+                                    if let Some(ref b) = b {
+                                        // Promote races the occupant's
+                                        // destroy; a `None` means the
+                                        // count hit zero first — the
+                                        // borrow must NOT resurrect it.
+                                        if let Some(l) = Borrowed::promote(b) {
+                                            held.push(l);
+                                        }
+                                    }
+                                    // Deferred CAS: on success the
+                                    // displaced count is parked, not
+                                    // destroyed.
+                                    let installed = f.compare_and_set_deferred(
+                                        b.as_ref(),
+                                        if i == 2 { None } else { Some(&fresh) },
+                                    );
+                                    if !installed && i == 2 {
+                                        f.store(None);
+                                    }
+                                });
+                                drop(fresh);
+                                if i == 1 {
+                                    // Mid-body flush: the buffer drains
+                                    // (and the epoch advances) while the
+                                    // other threads still hold borrows.
+                                    defer::flush_thread();
+                                }
+                                held.pop();
+                            }
+                            drop(held);
+                            // Scheduled bodies flush explicitly — the
+                            // scheduler detaches before TLS destructors
+                            // run (see lfrc_core::defer).
+                            defer::flush_thread();
+                        });
+                        body
+                    })
+                    .collect();
+                Schedule::new().run(&Policy::Random(seed), bodies);
+            }
+            shared[0].store(None);
+            shared[1].store(None);
+        }
+        defer::flush_thread();
+        assert_eq!(
+            census.live(),
+            0,
+            "{}: live objects leaked on the deferred path — replay with LFRC_SCHED_SEED={seed}",
+            W::strategy_name()
+        );
+        assert_eq!(
+            census.rc_on_freed(),
+            0,
+            "{}: canary hit on the deferred path — replay with LFRC_SCHED_SEED={seed}",
+            W::strategy_name()
+        );
+    }
+}
+
+#[test]
+fn deferred_rc_invariant_under_explored_schedules_mcas() {
+    deferred_rc_invariant_under_explored_schedules::<McasWord>(0..600);
+}
+
+#[test]
+fn deferred_rc_invariant_under_explored_schedules_lock() {
+    deferred_rc_invariant_under_explored_schedules::<LockWord>(0..600);
 }
 
 // ---------------------------------------------------------------------------

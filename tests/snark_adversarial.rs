@@ -67,6 +67,10 @@ where
                 let body: Body<'_> = Box::new(move || {
                     let v = if i == 0 { d.pop_right() } else { d.pop_left() };
                     slot.store(v.unwrap_or(NONE), Ordering::SeqCst);
+                    // The repaired pops park decrements on the thread's
+                    // buffer (DESIGN.md §5.9); flush inside the scheduled
+                    // body so the flush interleavings are explored too.
+                    lfrc_repro::core::flush_thread();
                 });
                 body
             })
@@ -79,6 +83,8 @@ where
     }
     let census = d.census();
     drop(d);
+    // The drain pops above buffered decrements on this thread.
+    lfrc_repro::core::flush_thread();
     Round {
         trace,
         got: got.iter().map(|s| s.load(Ordering::SeqCst)).collect(),
@@ -120,6 +126,7 @@ fn scheduled_churn(policy: &Policy, items: u64) -> (Trace, u64, u64, u64) {
                     }
                     attempts += 1;
                 }
+                lfrc_repro::core::flush_thread();
             }));
         }
         Schedule::new().run(policy, bodies)
@@ -128,6 +135,7 @@ fn scheduled_churn(policy: &Policy, items: u64) -> (Trace, u64, u64, u64) {
         popped_sum.fetch_add(v, Ordering::Relaxed);
         popped_n.fetch_add(1, Ordering::Relaxed);
     }
+    lfrc_repro::core::flush_thread();
     let pushed_sum = items * (items + 1) / 2;
     (
         trace,
@@ -292,6 +300,183 @@ fn sched_published_is_exercised_and_violations_reported() {
 }
 
 // ---------------------------------------------------------------------
+// Deferred-decrement fast path (DESIGN.md §5.9) under the scheduler.
+//
+// The fast path introduces five new instrumented yield sites —
+// `DeferAppend`, `DeferFlush`, `DeferEpochAdvance`, `BorrowLoad`,
+// `BorrowPromote` — covering the windows where a borrowed read races a
+// destroy, a buffered decrement races a concurrent pop, and a flush
+// races the epoch advance. The tests below explore those windows
+// through the LFRC stack, whose push/pop hot loops run entirely on the
+// fast path.
+// ---------------------------------------------------------------------
+
+use lfrc_repro::structures::{ConcurrentStack, LfrcStack};
+
+/// Outcome of one scheduled deferred-path round.
+struct DeferredRound {
+    trace: Trace,
+    /// Multiset of values observed (pops + final drain), sorted.
+    values: Vec<u64>,
+    /// Live objects after all buffers flushed and the stack dropped.
+    leaked: u64,
+}
+
+/// The deferred-path race: two pushers/poppers churn a tiny LFRC stack
+/// under full schedule control. Every hot-loop step crosses the new
+/// yield sites (borrowed head reads, deferred CASes parking decrements,
+/// threshold-independent explicit flushes), so the scheduler interleaves
+/// borrow/flush/destroy in every order the seeds reach.
+fn deferred_stack_race(policy: &Policy) -> DeferredRound {
+    let st: LfrcStack<McasWord> = LfrcStack::new();
+    st.push(100);
+    let got: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(NONE)).collect();
+    let trace = {
+        let (st, got) = (&st, &got);
+        let bodies: Vec<Body<'_>> = (0..2usize)
+            .map(|i| {
+                let body: Body<'_> = Box::new(move || {
+                    // Push one value, pop twice; flush mid-body so the
+                    // DeferFlush/DeferEpochAdvance windows interleave
+                    // with the other thread's borrows, then flush again
+                    // at the end (scheduled bodies must not rely on TLS
+                    // exit flushes — see lfrc_core::defer).
+                    st.push(200 + i as u64);
+                    if let Some(v) = st.pop() {
+                        got[2 * i].store(v, Ordering::SeqCst);
+                    }
+                    lfrc_repro::core::flush_thread();
+                    if let Some(v) = st.pop() {
+                        got[2 * i + 1].store(v, Ordering::SeqCst);
+                    }
+                    lfrc_repro::core::flush_thread();
+                });
+                body
+            })
+            .collect();
+        Schedule::new().run(policy, bodies)
+    };
+    let mut values: Vec<u64> = got
+        .iter()
+        .map(|s| s.load(Ordering::SeqCst))
+        .filter(|&v| v != NONE)
+        .collect();
+    while let Some(v) = st.pop() {
+        values.push(v);
+    }
+    values.sort_unstable();
+    let census = std::sync::Arc::clone(st.heap().census());
+    drop(st);
+    lfrc_repro::core::flush_thread();
+    DeferredRound {
+        trace,
+        values,
+        leaked: census.live(),
+    }
+}
+
+fn assert_deferred_conserved(seed: u64, round: &DeferredRound) {
+    assert_eq!(
+        round.values,
+        vec![100, 200, 201],
+        "deferred-path conservation violated — replay with LFRC_SCHED_SEED={seed}"
+    );
+    assert_eq!(
+        round.leaked, 0,
+        "deferred-path leak after flush — replay with LFRC_SCHED_SEED={seed}"
+    );
+}
+
+/// The deferred-path acceptance-criteria test: ≥10 000 *distinct* seeded
+/// schedules of the borrow/flush/destroy race, all conserving values and
+/// leaking nothing once every buffer has flushed.
+///
+/// Set `LFRC_SCHED_SEED=<n>` to replay a single seed with a full event
+/// dump instead.
+#[test]
+fn sched_explores_10k_distinct_deferred_schedules() {
+    if let Some(seed) = lfrc_sched::seed_from_env() {
+        let round = deferred_stack_race(&Policy::Random(seed));
+        println!(
+            "replayed LFRC_SCHED_SEED={seed}: trace hash {:#018x}, {} steps\n{}",
+            round.trace.hash,
+            round.trace.steps,
+            round.trace.format_events()
+        );
+        assert_deferred_conserved(seed, &round);
+        return;
+    }
+    const TARGET: usize = 10_000;
+    let mut hashes = HashSet::new();
+    let mut seed = 0u64;
+    while hashes.len() < TARGET {
+        assert!(
+            seed < 20 * TARGET as u64,
+            "schedule space saturated at {} distinct schedules before reaching {TARGET}",
+            hashes.len()
+        );
+        let round = deferred_stack_race(&Policy::Random(seed));
+        assert_deferred_conserved(seed, &round);
+        hashes.insert(round.trace.hash);
+        seed += 1;
+    }
+    println!(
+        "explored {} distinct deferred-path schedules over {seed} seeds",
+        hashes.len()
+    );
+}
+
+/// The new yield sites must actually be crossed by the explored
+/// schedules — otherwise the test above would be vacuously exploring the
+/// old windows only.
+#[test]
+fn sched_deferred_sites_are_explored() {
+    use lfrc_sched::InstrSite;
+    let mut seen = HashSet::new();
+    for seed in 0..50u64 {
+        let round = deferred_stack_race(&Policy::Random(seed));
+        for e in &round.trace.events {
+            if let Some(site) = e.site {
+                seen.insert(site.name());
+            }
+        }
+    }
+    for site in [
+        InstrSite::DeferAppend,
+        InstrSite::DeferFlush,
+        InstrSite::DeferEpochAdvance,
+        InstrSite::BorrowLoad,
+        InstrSite::BorrowPromote,
+    ] {
+        assert!(
+            seen.contains(site.name()),
+            "yield site {} never appeared in 50 explored schedules (seen: {seen:?})",
+            site.name()
+        );
+    }
+}
+
+/// Deferred-path replay determinism: rerunning a seed reproduces a
+/// bit-identical trace (hash *and* event sequence) and identical
+/// observable outcomes, across distinct stack instances.
+#[test]
+fn sched_deferred_replay_is_bit_identical() {
+    for seed in [2u64, 77, 0xBADC_0FFE, 0xD00D_F00D] {
+        let a = deferred_stack_race(&Policy::Random(seed));
+        let b = deferred_stack_race(&Policy::Random(seed));
+        assert_eq!(
+            a.trace.hash, b.trace.hash,
+            "seed {seed}: deferred trace hash diverged between identical runs"
+        );
+        assert_eq!(
+            a.trace.events, b.trace.events,
+            "seed {seed}: deferred event sequences diverged"
+        );
+        assert_eq!(a.values, b.values, "seed {seed}: observed values diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Randomized-jitter fallback mode (real OS preemption), kept from the
 // pre-scheduler suite.
 // ---------------------------------------------------------------------
@@ -363,6 +548,10 @@ fn round(d: &dyn ConcurrentDeque, items: u64, seed: u64) -> (u64, u64, u64) {
                     }
                 }
                 HookPause::set_thread_hook(None);
+                // `std::thread::scope` can return before TLS destructors
+                // run; flush the decrement buffer explicitly because the
+                // caller inspects the census right after the scope.
+                lfrc_repro::core::flush_thread();
             });
         }
     });
@@ -370,6 +559,7 @@ fn round(d: &dyn ConcurrentDeque, items: u64, seed: u64) -> (u64, u64, u64) {
         popped_sum.fetch_add(v, Ordering::Relaxed);
         popped_n.fetch_add(1, Ordering::Relaxed);
     }
+    lfrc_repro::core::flush_thread();
     let pushed_sum = items * (items + 1) / 2;
     (
         pushed_sum,

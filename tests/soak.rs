@@ -67,6 +67,10 @@ fn deque_soak_conserves_and_reclaims() {
                         }
                     }
                 }
+                // `std::thread::scope` can return before TLS destructors
+                // run; flush the decrement buffer explicitly because a
+                // census assertion follows the scope (lfrc_core::defer).
+                lfrc_repro::core::flush_thread();
             });
         }
     });
@@ -74,6 +78,7 @@ fn deque_soak_conserves_and_reclaims() {
     while d.pop_left().is_some() {
         drained += 1;
     }
+    lfrc_repro::core::flush_thread();
     assert_eq!(
         pushed.load(Ordering::Relaxed),
         popped.load(Ordering::Relaxed) + drained,
@@ -125,12 +130,14 @@ fn mixed_structures_soak() {
                         }
                     }
                 }
+                lfrc_repro::core::flush_thread();
             });
         }
     });
     while stack.pop().is_some() {}
     while queue.dequeue().is_some() {}
     drop((stack, queue, skip));
+    lfrc_repro::core::flush_thread();
     assert_eq!(stack_census.live(), 0);
     assert_eq!(queue_census.live(), 0);
     assert_eq!(skip_census.live(), 0);
