@@ -1,0 +1,93 @@
+//! Bench companion to the observability layer: what do the sharded
+//! counters and flight recorder cost on the protocol's hot paths?
+//!
+//! Every label carries the build's obs state (`obs=on` / `obs=off`), so
+//! the overhead is measured by running this bench twice and diffing:
+//!
+//! ```text
+//! cargo bench -p lfrc-bench --bench e11_obs
+//! cargo bench -p lfrc-bench --bench e11_obs --no-default-features
+//! ```
+//!
+//! The acceptance bar (recorded in `experiment-results/e11_obs.txt`) is
+//! that the counters-enabled hot path — the root `load_deferred` read,
+//! which the deferred fast path of DESIGN.md §5.9 made a plain read under
+//! an epoch pin — stays within 10% of the obs-disabled build. The
+//! micro-cost groups break the budget down: one counter bump, one
+//! recorder event, and a full registry snapshot.
+
+use std::hint::black_box;
+
+use lfrc_bench::Minibench;
+use lfrc_core::{defer, Heap, Links, McasWord, PtrField, SharedField};
+use lfrc_obs::{Counter, Snapshot};
+
+/// A minimal one-field object for the raw load micro-bench.
+struct Leaf {
+    #[allow(dead_code)]
+    n: u64,
+}
+
+impl Links<McasWord> for Leaf {
+    fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, McasWord>)) {}
+}
+
+fn main() {
+    let mut c = Minibench::from_args();
+    let obs = if lfrc_obs::enabled() { "on" } else { "off" };
+    println!("e11_obs: observability {obs} in this build");
+
+    // The acceptance-bar path: a root load, counted (LFRCLoad DCAS, one
+    // counter per attempt + one recorder event per success when obs is
+    // on) and deferred (plain read under a pin, one counter bump and
+    // deliberately no recorder event).
+    {
+        let heap: Heap<Leaf, McasWord> = Heap::new();
+        let leaf = heap.alloc(Leaf { n: 7 });
+        let root: SharedField<Leaf, McasWord> = SharedField::new(Some(&leaf));
+        drop(leaf);
+        let mut g = c.group(format!("e11/root_load[obs={obs}]"));
+        g.bench_function("counted", || {
+            black_box(root.load());
+        });
+        g.bench_function("deferred", || {
+            defer::pinned(|pin| {
+                black_box(root.load_deferred(pin));
+            })
+        });
+        g.finish();
+    }
+
+    // Micro-costs of the obs primitives themselves (all no-ops when obs
+    // is off — the off run shows the floor).
+    {
+        let mut g = c.group(format!("e11/obs_primitive[obs={obs}]"));
+        g.bench_function("counter_incr", || {
+            lfrc_obs::counters::incr(black_box(Counter::LoadDeferred));
+        });
+        g.bench_function("counter_record_max", || {
+            lfrc_obs::counters::record_max(black_box(Counter::DeferDepthHighWater), 3);
+        });
+        g.bench_function("recorder_event", || {
+            lfrc_obs::recorder::record(
+                black_box(lfrc_obs::EventKind::LoadAcquire),
+                0xdead_beef,
+                2,
+            );
+        });
+        g.finish();
+    }
+
+    // Cold-path cost: aggregating a full snapshot across all shards.
+    // Experiments take one per phase, so this only needs to be "not
+    // absurd", but it is worth pinning down.
+    {
+        let mut g = c.group(format!("e11/snapshot[obs={obs}]"));
+        g.bench_function("take", || {
+            black_box(Snapshot::take());
+        });
+        g.finish();
+    }
+
+    defer::flush_thread();
+}

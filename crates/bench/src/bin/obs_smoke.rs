@@ -1,0 +1,49 @@
+//! **Obs smoke.** Runs one small multi-threaded LFRC phase through the
+//! recorded runner and writes the per-phase counter snapshot JSON, so CI
+//! can assert the exporter produces a well-formed file end to end.
+//!
+//! `cargo run --release -p lfrc-bench --bin obs_smoke`
+//!
+//! Writes `<LFRC_OBS_DIR or experiment-results/obs>/obs_smoke.json` and
+//! prints the path on the last line of stdout.
+
+use lfrc_core::{Heap, Links, McasWord, PtrField, SharedField};
+use lfrc_harness::{run_ops_recorded, PhaseRecorder};
+
+struct Leaf {
+    #[allow(dead_code)]
+    payload: u64,
+}
+
+impl Links<McasWord> for Leaf {
+    fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, McasWord>)) {}
+}
+
+fn main() {
+    println!(
+        "obs_smoke: observability {} in this build",
+        if lfrc_obs::enabled() { "on" } else { "off" }
+    );
+
+    let heap: Heap<Leaf, McasWord> = Heap::new();
+    let seed = heap.alloc(Leaf { payload: 7 });
+    let root: SharedField<Leaf, McasWord> = SharedField::new(Some(&seed));
+    drop(seed);
+
+    let mut rec = PhaseRecorder::new("obs_smoke");
+    let stats = run_ops_recorded(&mut rec, "churn", 4, 10_000, |_, _| {
+        // A counted load plus an alloc/swap/drop cycle drives the whole
+        // instrumented surface: DCAS loads, rc increments/decrements,
+        // destroys, and the census.
+        let cur = root.load();
+        let fresh = heap.alloc(Leaf { payload: 1 });
+        root.store(Some(&fresh));
+        drop(fresh);
+        drop(cur);
+    });
+    println!("churn phase: {stats}");
+
+    let path = rec.finish().expect("write obs snapshot");
+    // Last line is the artifact path; CI feeds it to a JSON parser.
+    println!("{}", path.display());
+}

@@ -105,6 +105,12 @@ pub fn audit<T: Links<W>, W: DcasWord>(roots: &[(&Local<T, W>, u64)]) -> AuditRe
         }
     }
     findings.sort_by_key(|f| f.object);
+    if let Some(first) = findings.first() {
+        // Auto-dump: a count discrepancy at quiescence means the protocol
+        // (or a caller's bookkeeping) misbehaved earlier — capture the
+        // flight recorder while the trail is warm.
+        lfrc_obs::recorder::note_violation("audit finding: rc != in-degree", first.object);
+    }
     AuditReport {
         reachable: visited.len(),
         findings,

@@ -132,6 +132,9 @@ fn flush_entries(entries: Vec<Entry>) {
     if entries.is_empty() {
         return;
     }
+    lfrc_obs::counters::incr(lfrc_obs::Counter::DeferFlush);
+    lfrc_obs::counters::add(lfrc_obs::Counter::DeferFlushedEntries, entries.len() as u64);
+    lfrc_obs::recorder::record(lfrc_obs::EventKind::DeferFlush, 0, entries.len() as u64);
     lfrc_dcas::with_guard(|guard| {
         yield_point(InstrSite::DeferFlush);
         for e in &entries {
@@ -166,15 +169,18 @@ pub unsafe fn defer_destroy_raw<T: Links<W>, W: DcasWord>(v: *mut LfrcBox<T, W>)
         return;
     }
     yield_point(InstrSite::DeferAppend);
-    let full = BUFFER.with(|b| {
+    let depth = BUFFER.with(|b| {
         let mut buf = b.borrow_mut();
         buf.entries.push(Entry {
             ptr: v.cast::<()>(),
             run: run_destroy::<T, W>,
         });
-        buf.entries.len() >= FLUSH_THRESHOLD
+        buf.entries.len()
     });
-    if full {
+    lfrc_obs::counters::incr(lfrc_obs::Counter::DeferAppend);
+    lfrc_obs::counters::record_max(lfrc_obs::Counter::DeferDepthHighWater, depth as u64);
+    lfrc_obs::recorder::record(lfrc_obs::EventKind::DeferPark, v as usize, depth as u64);
+    if depth >= FLUSH_THRESHOLD {
         flush_thread();
     }
 }
@@ -189,10 +195,49 @@ pub fn flush_thread() {
     flush_entries(entries);
 }
 
-/// Number of decrements currently parked on the calling thread
-/// (diagnostics and tests).
-pub fn pending_decrements() -> usize {
+/// Number of decrements currently parked on the calling thread.
+///
+/// The primary use is diagnosing the `std::thread::scope` residue from
+/// the module docs: `scope` can return before a scoped thread's TLS
+/// destructors (and therefore its exit flush) have run, so a census read
+/// right after the scope may still see the parked counts as "live". A
+/// thread that checks `pending()` before returning — and flushes when it
+/// is nonzero — makes the residue impossible instead of merely unlikely:
+///
+/// ```
+/// use lfrc_core::{defer, Heap, Links, PtrField};
+/// use lfrc_dcas::McasWord;
+///
+/// struct Leaf;
+/// impl Links<McasWord> for Leaf {
+///     fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, McasWord>)) {}
+/// }
+///
+/// let heap: Heap<Leaf, McasWord> = Heap::new();
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         defer::defer_destroy(heap.alloc(Leaf));
+///         // The decrement is parked, not applied: the census still
+///         // counts the object, and pending() says why.
+///         assert!(defer::pending() >= 1);
+///         assert_eq!(heap.census().live(), 1);
+///         // Without this, `scope` may return before this thread's
+///         // exit flush runs, and the census assert below would race it.
+///         if defer::pending() > 0 {
+///             defer::flush_thread();
+///         }
+///         assert_eq!(defer::pending(), 0);
+///     });
+/// });
+/// assert_eq!(heap.census().live(), 0, "no TLS-flush residue");
+/// ```
+pub fn pending() -> usize {
     BUFFER.with(|b| b.borrow().entries.len())
+}
+
+/// Older name for [`pending`], kept for the PR 2 call sites and tests.
+pub fn pending_decrements() -> usize {
+    pending()
 }
 
 /// Witness that the calling thread is pinned in the reclamation epoch.
@@ -312,12 +357,24 @@ impl<'p, T: Links<W>, W: DcasWord> Borrowed<'p, T, W> {
         loop {
             let r = obj.rc_cell().load();
             if r == 0 {
+                lfrc_obs::counters::incr(lfrc_obs::Counter::PromoteFail);
+                lfrc_obs::recorder::record(
+                    lfrc_obs::EventKind::PromoteFail,
+                    this.ptr.as_ptr() as usize,
+                    0,
+                );
                 return None;
             }
             // The window the paper's §1 warns about — held open for the
             // scheduler, closed by the CAS below.
             yield_point(InstrSite::BorrowPromote);
             if obj.rc_cell().compare_and_swap(r, r + 1) {
+                lfrc_obs::counters::incr(lfrc_obs::Counter::PromoteSuccess);
+                lfrc_obs::recorder::record(
+                    lfrc_obs::EventKind::PromoteOk,
+                    this.ptr.as_ptr() as usize,
+                    r + 1,
+                );
                 // Safety: we just minted a count unit from a nonzero
                 // count; it transfers to the Local.
                 return unsafe { Local::from_counted_raw(this.ptr.as_ptr()) };

@@ -44,7 +44,10 @@ pub unsafe fn destroy<T: Links<W>, W: DcasWord>(v: *mut LfrcBox<T, W>) {
         // a preemption here races against concurrent LFRCLoads of fields
         // still pointing at `p`.
         lfrc_dcas::instrument::yield_point(lfrc_dcas::InstrSite::DestroyDecrement);
-        if obj.rc.fetch_add(-1) == 1 {
+        lfrc_obs::counters::incr(lfrc_obs::Counter::RcDecrement);
+        let prev = obj.rc.fetch_add(-1);
+        lfrc_obs::recorder::record(lfrc_obs::EventKind::Decrement, p as usize, prev);
+        if prev == 1 {
             // Line 14: we destroyed the last reference; cascade into the
             // object's links (explicit stack instead of recursion).
             obj.value.for_each_link(&mut |field| {
@@ -162,7 +165,10 @@ impl<T: Links<W>, W: DcasWord> Backlog<T, W> {
         // Safety: caller-owned count.
         let obj = unsafe { &*v };
         obj.assert_alive();
-        if obj.rc.fetch_add(-1) == 1 {
+        lfrc_obs::counters::incr(lfrc_obs::Counter::RcDecrement);
+        let prev = obj.rc.fetch_add(-1);
+        lfrc_obs::recorder::record(lfrc_obs::EventKind::Decrement, v as usize, prev);
+        if prev == 1 {
             self.push(v);
         }
     }

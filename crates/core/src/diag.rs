@@ -120,6 +120,7 @@ impl Census {
 
     pub(crate) fn note_alloc(&self, bytes: usize) {
         self.allocs.fetch_add(1, Ordering::AcqRel);
+        lfrc_obs::counters::incr(lfrc_obs::Counter::CensusAlloc);
         self.live_bytes.fetch_add(bytes as u64, Ordering::AcqRel);
         let live = self.live();
         self.peak_live.fetch_max(live, Ordering::AcqRel);
@@ -127,11 +128,13 @@ impl Census {
 
     pub(crate) fn note_free(&self, bytes: usize) {
         self.frees.fetch_add(1, Ordering::AcqRel);
+        lfrc_obs::counters::incr(lfrc_obs::Counter::CensusFree);
         self.live_bytes.fetch_sub(bytes as u64, Ordering::AcqRel);
     }
 
     pub(crate) fn note_rc_on_freed(&self) {
         self.rc_on_freed.fetch_add(1, Ordering::AcqRel);
+        lfrc_obs::counters::incr(lfrc_obs::Counter::CensusRcOnFreed);
     }
 
     /// Switches quarantine mode on or off.

@@ -98,7 +98,7 @@ pub mod ops;
 pub mod shared;
 
 pub use audit::{audit, AuditReport};
-pub use defer::{defer_destroy, flush_thread, pinned, Borrowed, Pin};
+pub use defer::{defer_destroy, flush_thread, pending, pinned, Borrowed, Pin};
 pub use destroy::Backlog;
 pub use diag::Census;
 pub use llsc::LinkedPtrField;

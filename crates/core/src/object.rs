@@ -354,6 +354,7 @@ impl<T: Links<W>, W: DcasWord> Heap<T, W> {
         });
         self.census.note_alloc(std::mem::size_of::<LfrcBox<T, W>>());
         let raw = Box::into_raw(boxed);
+        lfrc_obs::recorder::record(lfrc_obs::EventKind::Alloc, raw as usize, 1);
         // Safety: fresh allocation, count 1, owned by the returned Local.
         unsafe { Local::from_counted_raw(raw).expect("fresh allocation is non-null") }
     }
@@ -377,10 +378,13 @@ pub(crate) unsafe fn free_object<T: Links<W>, W: DcasWord>(ptr: *mut LfrcBox<T, 
     // increment landing in the instant between the freeing decision and
     // this poison store); the loser is counted, not executed.
     if obj.canary.swap(CANARY_FREED, Ordering::SeqCst) != CANARY_ALIVE {
+        lfrc_obs::recorder::record(lfrc_obs::EventKind::RcOnFreed, ptr as usize, 0);
         obj.census.note_rc_on_freed();
+        lfrc_obs::recorder::note_violation("double free raced on canary", ptr as usize);
         return;
     }
     obj.census.note_free(std::mem::size_of::<LfrcBox<T, W>>());
+    lfrc_obs::recorder::record(lfrc_obs::EventKind::Free, ptr as usize, 0);
     let census = Arc::clone(&obj.census);
     if census.quarantine_on() {
         // Safety: pushed exactly once; drained after the experiment.

@@ -50,7 +50,12 @@ pub unsafe fn add_to_rc<T: Links<W>, W: DcasWord>(p: *mut LfrcBox<T, W>, v: i64)
     // Safety: caller holds a counted reference; object is alive.
     let obj = unsafe { &*p };
     obj.assert_alive();
-    obj.rc.fetch_add(v)
+    let prev = obj.rc.fetch_add(v);
+    if v > 0 {
+        lfrc_obs::counters::incr(lfrc_obs::Counter::RcIncrement);
+        lfrc_obs::recorder::record(lfrc_obs::EventKind::Increment, p as usize, prev);
+    }
+    prev
 }
 
 /// `LFRCLoad` (Figure 2 lines 1–12): loads the pointer in `a` into
@@ -86,6 +91,7 @@ pub unsafe fn load<T: Links<W>, W: DcasWord>(
         // object is logically freed mid-window — the same stray read a
         // hardware DCAS would perform harmlessly (see lfrc-dcas docs).
         let done = lfrc_dcas::with_guard(|_| {
+            lfrc_obs::counters::incr(lfrc_obs::Counter::LoadDcasAttempt);
             let aval = a.raw().load(); // line 4
             if aval == 0 {
                 *dest = ptr::null_mut(); // lines 5–7
@@ -102,6 +108,11 @@ pub unsafe fn load<T: Links<W>, W: DcasWord>(
             lfrc_dcas::instrument::yield_point(lfrc_dcas::InstrSite::LoadDcasWindow);
             // Line 9: increment the count *iff* the pointer still exists.
             if W::dcas(a.raw(), &obj.rc, aval, r, aval, r + 1) {
+                lfrc_obs::recorder::record(
+                    lfrc_obs::EventKind::LoadAcquire,
+                    aval as usize,
+                    r + 1,
+                );
                 *dest = word_to_ptr(aval); // line 10
                 true
             } else {
@@ -111,6 +122,7 @@ pub unsafe fn load<T: Links<W>, W: DcasWord>(
         if done {
             break;
         }
+        lfrc_obs::counters::incr(lfrc_obs::Counter::LoadDcasRetry);
     }
     // Safety: `olddest` was a caller-owned counted reference (or null).
     unsafe { destroy(olddest) }; // line 12
@@ -141,6 +153,9 @@ pub unsafe fn load_deferred<T: Links<W>, W: DcasWord>(
     // An uncounted read racing destroys by design — let the scheduler
     // interleave here.
     lfrc_dcas::instrument::yield_point(lfrc_dcas::InstrSite::BorrowLoad);
+    // Counter only — no flight-recorder event: this is the hot path the
+    // E11 overhead budget is measured on.
+    lfrc_obs::counters::incr(lfrc_obs::Counter::LoadDeferred);
     word_to_ptr(a.raw().load())
 }
 
@@ -395,11 +410,14 @@ pub unsafe fn destroy_tolerant<T: Links<W>, W: DcasWord>(v: *mut LfrcBox<T, W>) 
         }
         // Safety: quarantine keeps the memory mapped even if freed.
         let obj = unsafe { &*p };
+        lfrc_obs::counters::incr(lfrc_obs::Counter::RcDecrement);
         if obj.rc.fetch_add(-1) == 1 {
             if !obj.is_alive() {
                 // We held the last count of an object that was *already*
                 // freed — the naive protocol resurrected it earlier.
+                lfrc_obs::recorder::record(lfrc_obs::EventKind::RcOnFreed, p as usize, 0);
                 obj.census.note_rc_on_freed();
+                lfrc_obs::recorder::note_violation("rc decrement on freed object", p as usize);
                 continue;
             }
             obj.value.for_each_link(&mut |field| {
@@ -467,11 +485,14 @@ pub unsafe fn load_naive_cas_gapped<T: Links<W>, W: DcasWord>(
             obj.census.quarantine_on(),
             "load_naive_cas requires quarantine mode (see ops docs)"
         );
-        obj.rc.fetch_add(1); // THE BUG: may resurrect a freed object.
+        let prev = obj.rc.fetch_add(1); // THE BUG: may resurrect a freed object.
+        lfrc_obs::recorder::record(lfrc_obs::EventKind::Increment, aval as usize, prev);
         if !obj.is_alive() {
             // The increment landed on freed memory — the corruption the
             // paper's DCAS prevents. Record it, undo, retry.
+            lfrc_obs::recorder::record(lfrc_obs::EventKind::RcOnFreed, aval as usize, prev);
             obj.census.note_rc_on_freed();
+            lfrc_obs::recorder::note_violation("rc increment on freed object", aval as usize);
             obj.rc.fetch_add(-1);
             continue;
         }
@@ -486,7 +507,12 @@ pub unsafe fn load_naive_cas_gapped<T: Links<W>, W: DcasWord>(
         // destroy here would free it a second time. That narrow window is
         // itself part of the defect being demonstrated — count it.
         if obj.rc.fetch_add(-1) == 1 {
+            lfrc_obs::recorder::record(lfrc_obs::EventKind::RcOnFreed, aval as usize, 0);
             obj.census.note_rc_on_freed();
+            lfrc_obs::recorder::note_violation(
+                "compensating decrement hit a freeing object",
+                aval as usize,
+            );
         }
     }
     // Safety: caller-owned.

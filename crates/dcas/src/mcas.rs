@@ -164,6 +164,7 @@ fn rdcss(
             }
             Err(cur) if cur & TAG_MASK == TAG_RDCSS => {
                 // Help the other RDCSS out of the way and retry.
+                lfrc_obs::counters::incr(lfrc_obs::Counter::RdcssHelp);
                 rdcss_complete(unsafe { rdcss_desc(cur) }, cur);
             }
             Err(cur) => break cur,
@@ -192,6 +193,7 @@ fn mcas_help(guard: &lfrc_reclaim::epoch::Guard<'_>, tagged: u64) -> bool {
                 }
                 if seen & TAG_MASK == TAG_MCAS {
                     // A different operation owns this cell: help it first.
+                    lfrc_obs::counters::incr(lfrc_obs::Counter::McasHelp);
                     mcas_help(guard, seen);
                     continue;
                 }
@@ -229,8 +231,12 @@ fn word_read(guard: &lfrc_reclaim::epoch::Guard<'_>, word: &AtomicU64) -> u64 {
         let w = word.load(Ordering::SeqCst);
         match w & TAG_MASK {
             TAG_VALUE => return w,
-            TAG_RDCSS => rdcss_complete(unsafe { rdcss_desc(w) }, w),
+            TAG_RDCSS => {
+                lfrc_obs::counters::incr(lfrc_obs::Counter::McasDescResolve);
+                rdcss_complete(unsafe { rdcss_desc(w) }, w)
+            }
             TAG_MCAS => {
+                lfrc_obs::counters::incr(lfrc_obs::Counter::McasDescResolve);
                 mcas_help(guard, w);
             }
             _ => unreachable!("corrupt cell tag"),

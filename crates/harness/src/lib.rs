@@ -14,13 +14,17 @@
 pub mod checker;
 pub mod latency;
 pub mod memstat;
+pub mod obsrec;
 pub mod runner;
 pub mod table;
 pub mod workload;
 
 pub use checker::ConservationChecker;
 pub use latency::LatencyHistogram;
-pub use memstat::{rss_bytes, MemSeries};
-pub use runner::{run_for_duration, run_ops, RunStats};
+pub use memstat::{page_size, rss_bytes, MemSeries};
+pub use obsrec::{PhaseRecord, PhaseRecorder};
+pub use runner::{
+    run_for_duration, run_for_duration_recorded, run_ops, run_ops_recorded, RunStats,
+};
 pub use table::Table;
 pub use workload::{DequeOp, DequeWorkload, Mix, SetOp, SetWorkload, SplitMix64};

@@ -24,11 +24,19 @@ pub fn rss_bytes() -> u64 {
     resident * page_size()
 }
 
-fn page_size() -> u64 {
-    // Derived without libc: Linux exposes the kernel page size as the
-    // KernelPageSize of any mapping in /proc/self/smaps. Fall back to the
-    // near-universal 4 KiB if the file is unavailable.
-    static PAGE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+/// Cached kernel page size: /proc/self/smaps is parsed exactly once per
+/// process, so [`rss_bytes`] stays cheap enough to call inside sampling
+/// loops (E3 samples after every phase; the obs exporter samples per
+/// phase too).
+static PAGE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+
+/// The kernel page size in bytes.
+///
+/// Derived without libc: Linux exposes it as the `KernelPageSize` of any
+/// mapping in `/proc/self/smaps`. Falls back to the near-universal 4 KiB
+/// if the file is unavailable (non-Linux, restricted /proc). The parse
+/// happens once; subsequent calls read the cached value.
+pub fn page_size() -> u64 {
     *PAGE.get_or_init(|| {
         std::fs::read_to_string("/proc/self/smaps")
             .ok()
@@ -108,6 +116,15 @@ mod tests {
         if cfg!(target_os = "linux") {
             assert!(rss_bytes() > 0);
         }
+    }
+
+    #[test]
+    fn page_size_is_sane_and_stable() {
+        let p = page_size();
+        assert!(p >= 4096, "page size below 4 KiB: {p}");
+        assert!(p.is_power_of_two(), "page size not a power of two: {p}");
+        // Cached: repeated calls must agree (and not re-parse /proc).
+        assert_eq!(p, page_size());
     }
 
     #[test]

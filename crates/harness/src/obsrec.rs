@@ -1,0 +1,208 @@
+//! Per-phase observability recording for experiment runs.
+//!
+//! A [`PhaseRecorder`] snapshots the `lfrc-obs` counter registry at
+//! experiment start and after every phase, storing the per-phase *delta*
+//! (high-water marks keep their absolute value — see
+//! `lfrc_obs::Snapshot::diff`). [`PhaseRecorder::finish`] writes one JSON
+//! file per experiment into `experiment-results/obs/` (override with the
+//! `LFRC_OBS_DIR` environment variable), so every throughput table in
+//! `experiment-results/` gains a machine-readable record of what the
+//! protocol actually did — DCAS retries, defer depth, epoch lag —
+//! alongside the ops/s.
+//!
+//! The runner entry points [`crate::runner::run_ops_recorded`] and
+//! [`crate::runner::run_for_duration_recorded`] fold throughput into the
+//! same phase entry. In an obs-disabled build everything still works —
+//! the counters simply read zero.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use lfrc_obs::{Counter, Snapshot};
+
+use crate::runner::RunStats;
+
+/// Directory JSON snapshots land in unless `LFRC_OBS_DIR` overrides it.
+pub const DEFAULT_OBS_DIR: &str = "experiment-results/obs";
+
+/// One recorded phase: label, optional throughput, counter delta.
+#[derive(Debug, Clone)]
+pub struct PhaseRecord {
+    /// Phase label (e.g. `"grow"`, `"churn 4thr"`).
+    pub label: String,
+    /// Operations completed, when the phase was a measured run.
+    pub ops: Option<u64>,
+    /// Wall-clock seconds, when the phase was a measured run.
+    pub elapsed_secs: Option<f64>,
+    /// Counter change over the phase.
+    pub delta: Snapshot,
+}
+
+/// Records one `lfrc-obs` snapshot per experiment phase and exports the
+/// series as JSON.
+#[derive(Debug)]
+pub struct PhaseRecorder {
+    experiment: String,
+    last: Snapshot,
+    phases: Vec<PhaseRecord>,
+}
+
+impl PhaseRecorder {
+    /// Starts recording: the baseline snapshot is taken here, so counts
+    /// accumulated by *earlier* experiments in the same process do not
+    /// pollute the first phase's delta.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        PhaseRecorder {
+            experiment: experiment.into(),
+            last: Snapshot::take(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Runs `f` as one phase: everything counted during the call becomes
+    /// the phase's delta.
+    pub fn phase<R>(&mut self, label: impl Into<String>, f: impl FnOnce() -> R) -> R {
+        let r = f();
+        self.close_phase(label.into(), None);
+        r
+    }
+
+    /// Closes a phase that was a measured run, attaching its throughput.
+    /// Used by the `*_recorded` runners; call directly when driving
+    /// [`crate::runner::run_ops`] yourself.
+    pub fn record_run(&mut self, label: impl Into<String>, stats: &RunStats) {
+        self.close_phase(label.into(), Some(stats));
+    }
+
+    fn close_phase(&mut self, label: String, stats: Option<&RunStats>) {
+        let now = Snapshot::take();
+        self.phases.push(PhaseRecord {
+            label,
+            ops: stats.map(|s| s.ops),
+            elapsed_secs: stats.map(|s| s.elapsed.as_secs_f64()),
+            delta: now.diff(&self.last),
+        });
+        self.last = now;
+    }
+
+    /// The phases recorded so far.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+
+    /// The whole recording as one JSON document:
+    /// `{"experiment": "...", "obs_enabled": bool, "phases": [...]}` with
+    /// each phase carrying its label, optional `ops`/`elapsed_secs`, and
+    /// a flat `counters` object (see `lfrc_obs::Snapshot::to_json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.phases.len() * 768);
+        out.push_str(&format!(
+            "{{\"experiment\":{},\"obs_enabled\":{},\"phases\":[",
+            json_string(&self.experiment),
+            lfrc_obs::enabled(),
+        ));
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"label\":{}", json_string(&p.label)));
+            if let Some(ops) = p.ops {
+                out.push_str(&format!(",\"ops\":{ops}"));
+            }
+            if let Some(secs) = p.elapsed_secs {
+                out.push_str(&format!(",\"elapsed_secs\":{secs:.6}"));
+            }
+            out.push_str(&format!(",\"counters\":{}}}", p.delta.to_json()));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the JSON document to `<dir>/<experiment>.json`, where
+    /// `<dir>` is `LFRC_OBS_DIR` or [`DEFAULT_OBS_DIR`], creating the
+    /// directory as needed. Returns the path written.
+    pub fn finish(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("LFRC_OBS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from(DEFAULT_OBS_DIR));
+        std::fs::create_dir_all(&dir)?;
+        let sanitized: String = self
+            .experiment
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{sanitized}.json"));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+}
+
+/// Minimal JSON string encoder (labels are caller-controlled text).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Convenience for diagnostics lines: the current aggregate value of one
+/// counter (zero when obs is disabled).
+pub fn counter_total(c: Counter) -> u64 {
+    lfrc_obs::counters::total(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut rec = PhaseRecorder::new("unit \"quoted\"");
+        rec.phase("alloc\nphase", || ());
+        rec.record_run(
+            "run",
+            &RunStats {
+                ops: 42,
+                elapsed: Duration::from_millis(500),
+            },
+        );
+        let j = rec.to_json();
+        assert!(j.contains("\"experiment\":\"unit \\\"quoted\\\"\""));
+        assert!(j.contains("\"label\":\"alloc\\nphase\""));
+        assert!(j.contains("\"ops\":42"));
+        assert!(j.contains("\"elapsed_secs\":0.500000"));
+        assert!(j.contains("\"counters\":{"));
+        assert_eq!(j.matches("\"label\"").count(), 2);
+        // Balanced braces: crude but catches emitter slips.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn finish_writes_well_formed_file() {
+        let dir = std::env::temp_dir().join(format!("lfrc-obs-test-{}", std::process::id()));
+        // Scope the env override to this test binary invocation.
+        std::env::set_var("LFRC_OBS_DIR", &dir);
+        let mut rec = PhaseRecorder::new("writer/test");
+        rec.phase("only", || ());
+        let path = rec.finish().expect("write");
+        std::env::remove_var("LFRC_OBS_DIR");
+        assert_eq!(path.file_name().unwrap(), "writer_test.json");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

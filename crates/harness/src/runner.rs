@@ -8,6 +8,10 @@
 //! * [`run_for_duration`] — workers run until a deadline; returns the
 //!   number of operations completed. Used when some workers may be
 //!   stalled (experiment E4) and an exact count is impossible.
+//!
+//! The `*_recorded` variants wrap each run as one phase of a
+//! [`crate::obsrec::PhaseRecorder`], so experiments export an obs counter
+//! snapshot per measured phase alongside the throughput numbers.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -134,6 +138,41 @@ where
         ops: total.load(Ordering::Acquire),
         elapsed: duration,
     }
+}
+
+/// [`run_ops`], recorded: the run becomes one phase of `rec` labelled
+/// `label`, carrying both its counter delta and its throughput.
+pub fn run_ops_recorded<F>(
+    rec: &mut crate::obsrec::PhaseRecorder,
+    label: &str,
+    threads: usize,
+    ops_per_thread: u64,
+    body: F,
+) -> RunStats
+where
+    F: Fn(usize, u64) + Sync,
+{
+    let stats = run_ops(threads, ops_per_thread, body);
+    rec.record_run(label, &stats);
+    stats
+}
+
+/// [`run_for_duration`], recorded: the run becomes one phase of `rec`
+/// labelled `label`, carrying both its counter delta and its throughput.
+pub fn run_for_duration_recorded<F>(
+    rec: &mut crate::obsrec::PhaseRecorder,
+    label: &str,
+    threads: usize,
+    duration: Duration,
+    stalled_release: &AtomicBool,
+    body: F,
+) -> RunStats
+where
+    F: Fn(usize, u64) -> bool + Sync,
+{
+    let stats = run_for_duration(threads, duration, stalled_release, body);
+    rec.record_run(label, &stats);
+    stats
 }
 
 #[cfg(test)]

@@ -1,0 +1,138 @@
+//! Snapshot + export layer.
+//!
+//! A [`Snapshot`] freezes the aggregated counter totals at an instant;
+//! [`Snapshot::diff`] turns two snapshots into a per-phase delta
+//! (high-water marks keep the later absolute value — a mark is not a
+//! rate). Emitters are hand-rolled (the workspace builds offline, so no
+//! serde): [`Snapshot::to_prometheus`] for scrape-style text,
+//! [`Snapshot::to_json`] for machine-readable phase records the harness
+//! writes into `experiment-results/obs/`.
+
+use crate::counters::{self, Counter, COUNTER_COUNT};
+
+/// Aggregated counter values frozen at one instant (or a diff of two).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    vals: [u64; COUNTER_COUNT],
+}
+
+impl Snapshot {
+    /// Freezes the current registry totals. All zeros when the `enabled`
+    /// feature is off.
+    pub fn take() -> Snapshot {
+        Snapshot {
+            vals: counters::totals(),
+        }
+    }
+
+    /// A snapshot of explicit values (diff results, tests).
+    pub fn from_values(vals: [u64; COUNTER_COUNT]) -> Snapshot {
+        Snapshot { vals }
+    }
+
+    /// Value of one counter in this snapshot.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c as usize]
+    }
+
+    /// Change since `earlier`: monotonic counters subtract (saturating,
+    /// so a torn-free reading glitch cannot underflow); high-water marks
+    /// keep *this* snapshot's value, because "largest depth ever seen"
+    /// does not difference into a per-phase quantity.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let mut vals = [0u64; COUNTER_COUNT];
+        for c in Counter::ALL {
+            let i = c as usize;
+            vals[i] = if c.is_high_water() {
+                self.vals[i]
+            } else {
+                self.vals[i].saturating_sub(earlier.vals[i])
+            };
+        }
+        Snapshot { vals }
+    }
+
+    /// Prometheus text exposition: `# TYPE` lines (`counter` for
+    /// monotonic values, `gauge` for high-water marks) followed by
+    /// `lfrc_<name> <value>`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(COUNTER_COUNT * 64);
+        for c in Counter::ALL {
+            let kind = if c.is_high_water() { "gauge" } else { "counter" };
+            out.push_str(&format!(
+                "# TYPE lfrc_{name} {kind}\nlfrc_{name} {val}\n",
+                name = c.name(),
+                val = self.get(c),
+            ));
+        }
+        out
+    }
+
+    /// One flat JSON object, `{"<name>": <value>, ...}` in counter
+    /// order. Keys are fixed snake_case identifiers, so no escaping is
+    /// needed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(COUNTER_COUNT * 32);
+        out.push('{');
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", c.name(), self.get(*c)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(c: Counter, v: u64) -> Snapshot {
+        let mut vals = [0u64; COUNTER_COUNT];
+        vals[c as usize] = v;
+        Snapshot::from_values(vals)
+    }
+
+    #[test]
+    fn diff_subtracts_monotonic_and_keeps_high_water() {
+        let mut early = [0u64; COUNTER_COUNT];
+        early[Counter::RcIncrement as usize] = 10;
+        early[Counter::DeferDepthHighWater as usize] = 7;
+        let mut late = early;
+        late[Counter::RcIncrement as usize] = 25;
+        late[Counter::DeferDepthHighWater as usize] = 9;
+        let d = Snapshot::from_values(late).diff(&Snapshot::from_values(early));
+        assert_eq!(d.get(Counter::RcIncrement), 15);
+        assert_eq!(d.get(Counter::DeferDepthHighWater), 9);
+    }
+
+    #[test]
+    fn diff_saturates_instead_of_underflowing() {
+        let d = snap_with(Counter::RcIncrement, 3).diff(&snap_with(Counter::RcIncrement, 5));
+        assert_eq!(d.get(Counter::RcIncrement), 0);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = snap_with(Counter::LoadDcasRetry, 4).to_prometheus();
+        assert!(text.contains("# TYPE lfrc_load_dcas_retries counter\n"));
+        assert!(text.contains("lfrc_load_dcas_retries 4\n"));
+        assert!(text.contains("# TYPE lfrc_defer_depth_high_water gauge\n"));
+    }
+
+    #[test]
+    fn json_is_flat_and_complete() {
+        let j = snap_with(Counter::EpochPin, 11).to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"epoch_pins\":11"));
+        // every counter appears exactly once
+        for c in Counter::ALL {
+            assert_eq!(j.matches(&format!("\"{}\":", c.name())).count(), 1);
+        }
+        // crude well-formedness: balanced quotes, no trailing comma
+        assert_eq!(j.matches('"').count() % 2, 0);
+        assert!(!j.contains(",}"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Runtime observability for the LFRC reproduction.
+//!
+//! The paper's invariants are checkable at quiescence (`lfrc_core::audit`)
+//! or post-mortem (census, canaries); this crate observes the **running**
+//! protocol — DCAS retry storms, defer-buffer depth, epoch lag — the
+//! quantities the deferred fast path (DESIGN.md §5.9) trades on. Three
+//! pieces, all behind the `enabled` cargo feature (no-ops otherwise):
+//!
+//! * [`counters`] — per-thread **sharded counters**: each thread owns a
+//!   cache-line-aligned shard of relaxed atomics, registered in a global
+//!   registry that *retains* shards after thread exit, so totals never go
+//!   backwards when workers come and go. Aggregation sums (or maxes, for
+//!   high-water marks) across shards.
+//! * [`recorder`] — a **flight recorder**: a fixed-size per-thread ring of
+//!   recent protocol events (kind, object address, observed count, global
+//!   sequence number). Dumped automatically when a canary violation, an
+//!   audit finding, or a failing explored schedule is detected, turning
+//!   "census residue" reports into actionable traces.
+//! * [`export`] — [`Snapshot`](export::Snapshot) diffing plus
+//!   Prometheus-style text and JSON emitters; the harness records one
+//!   snapshot per experiment phase into `experiment-results/obs/`.
+//!
+//! # Why relaxed counters cannot perturb the protocol
+//!
+//! Every counter mutation is `Ordering::Relaxed` on a cell that only the
+//! owning thread writes, and no protocol decision ever reads a counter.
+//! The counters therefore add no synchronization edges: they cannot order
+//! any pair of protocol accesses that was not already ordered, so every
+//! interleaving possible without them remains possible with them (and
+//! vice versa — a plain relaxed RMW on private memory introduces no
+//! fences). See DESIGN.md §5.10 for the full argument.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod counters;
+pub mod export;
+pub mod recorder;
+
+pub use counters::Counter;
+pub use export::Snapshot;
+pub use recorder::EventKind;
+
+/// Whether this build records anything (`enabled` cargo feature).
+///
+/// When `false`, every recording entry point in [`counters`] and
+/// [`recorder`] is an empty inline function and [`Snapshot`]s read all
+/// zeros.
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}

@@ -1,0 +1,363 @@
+//! Protocol flight recorder.
+//!
+//! Each thread owns a fixed-size ring ([`RING_CAP`] slots) of its most
+//! recent protocol events. Recording is wait-free for the owner: bump a
+//! local write index, stamp the slot's fields with relaxed stores, done.
+//! Rings are registered globally and retained after thread exit, so a
+//! post-mortem [`dump`] can interleave every thread's recent history by
+//! global sequence number.
+//!
+//! A slot is four `AtomicU64`s written only by the ring's owner; a
+//! concurrent dumper may read a **torn** event (fields from two different
+//! writes). That is acceptable by design: dumps are diagnostics taken at
+//! a violation — when the interesting thread is typically parked in the
+//! violation handler — and a rare torn line in a trace beats putting a
+//! lock or fence on the protocol's instrumented paths.
+//!
+//! [`note_violation`] is the automatic trigger: the first call (per
+//! [`reset_violations`] scope) captures a full dump into a latch that
+//! tests and harnesses can collect with [`take_violation_dump`]. Canary
+//! violations, audit findings, and failing explored schedules all funnel
+//! here.
+
+/// What happened at an instrumented protocol site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+#[repr(u8)]
+pub enum EventKind {
+    /// Slot never written (internal sentinel; never dumped).
+    Empty = 0,
+    /// `Heap::alloc` returned a fresh object (rc = 1).
+    Alloc,
+    /// `LFRCLoad` DCAS took a counted reference (rc = new count).
+    LoadAcquire,
+    /// A reference-count increment committed (rc = count *before*).
+    Increment,
+    /// A reference-count decrement committed (rc = count *before*).
+    Decrement,
+    /// The object's storage was logically freed.
+    Free,
+    /// A decrement was parked on the deferred buffer (rc = buffer depth).
+    DeferPark,
+    /// A deferred buffer flushed (addr = 0, rc = entries applied).
+    DeferFlush,
+    /// `Borrowed::promote` succeeded (rc = count observed nonzero).
+    PromoteOk,
+    /// `Borrowed::promote` refused a zero count.
+    PromoteFail,
+    /// A count mutation touched freed storage (the E5 canary signal).
+    RcOnFreed,
+}
+
+impl EventKind {
+    /// Short stable tag used in dump lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Empty => "empty",
+            EventKind::Alloc => "alloc",
+            EventKind::LoadAcquire => "load_acquire",
+            EventKind::Increment => "increment",
+            EventKind::Decrement => "decrement",
+            EventKind::Free => "free",
+            EventKind::DeferPark => "defer_park",
+            EventKind::DeferFlush => "defer_flush",
+            EventKind::PromoteOk => "promote_ok",
+            EventKind::PromoteFail => "promote_fail",
+            EventKind::RcOnFreed => "rc_on_freed",
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn from_u64(v: u64) -> EventKind {
+        match v {
+            1 => EventKind::Alloc,
+            2 => EventKind::LoadAcquire,
+            3 => EventKind::Increment,
+            4 => EventKind::Decrement,
+            5 => EventKind::Free,
+            6 => EventKind::DeferPark,
+            7 => EventKind::DeferFlush,
+            8 => EventKind::PromoteOk,
+            9 => EventKind::PromoteFail,
+            10 => EventKind::RcOnFreed,
+            _ => EventKind::Empty,
+        }
+    }
+}
+
+/// Events retained per thread.
+pub const RING_CAP: usize = 128;
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{EventKind, RING_CAP};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    /// One event slot. Written (field-by-field, relaxed) only by the ring
+    /// owner; readers tolerate tearing — see the module docs.
+    struct Slot {
+        seq: AtomicU64,
+        kind: AtomicU64,
+        addr: AtomicU64,
+        rc: AtomicU64,
+    }
+
+    impl Slot {
+        fn new() -> Self {
+            Slot {
+                seq: AtomicU64::new(0),
+                kind: AtomicU64::new(0),
+                addr: AtomicU64::new(0),
+                rc: AtomicU64::new(0),
+            }
+        }
+    }
+
+    pub(super) struct Ring {
+        /// Small stable id for dump lines (registration order).
+        id: usize,
+        /// Next slot to write (owner-private; atomic only so the struct
+        /// stays `Sync` for the registry).
+        widx: AtomicUsize,
+        slots: [Slot; RING_CAP],
+    }
+
+    impl Ring {
+        fn new(id: usize) -> Self {
+            Ring {
+                id,
+                widx: AtomicUsize::new(0),
+                slots: std::array::from_fn(|_| Slot::new()),
+            }
+        }
+
+        fn record(&self, seq: u64, kind: EventKind, addr: usize, rc: u64) {
+            let i = self.widx.load(Ordering::Relaxed);
+            self.widx.store((i + 1) % RING_CAP, Ordering::Relaxed);
+            let slot = &self.slots[i];
+            slot.kind.store(kind as u64, Ordering::Relaxed);
+            slot.addr.store(addr as u64, Ordering::Relaxed);
+            slot.rc.store(rc, Ordering::Relaxed);
+            // Stamp seq last so a reader that sees the new seq most
+            // likely sees the matching fields (best-effort only).
+            slot.seq.store(seq, Ordering::Relaxed);
+        }
+    }
+
+    fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+        static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    fn global_seq() -> &'static AtomicU64 {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        &SEQ
+    }
+
+    fn new_ring() -> Arc<Ring> {
+        let mut reg = registry().lock().unwrap();
+        let ring = Arc::new(Ring::new(reg.len()));
+        reg.push(Arc::clone(&ring));
+        ring
+    }
+
+    thread_local! {
+        static RING: Arc<Ring> = new_ring();
+    }
+
+    #[inline]
+    pub(super) fn record(kind: EventKind, addr: usize, rc: u64) {
+        // Seq 0 marks empty slots; ids start at 1.
+        let seq = global_seq().fetch_add(1, Ordering::Relaxed) + 1;
+        // Tolerate recording from TLS destructors (thread-exit flushes):
+        // the event is dropped rather than panicking mid-teardown.
+        let _ = RING.try_with(|r| r.record(seq, kind, addr, rc));
+    }
+
+    pub(super) fn dump() -> String {
+        struct Line {
+            seq: u64,
+            ring: usize,
+            kind: EventKind,
+            addr: u64,
+            rc: u64,
+        }
+        let mut lines = Vec::new();
+        {
+            let reg = registry().lock().unwrap();
+            for ring in reg.iter() {
+                for slot in &ring.slots {
+                    let seq = slot.seq.load(Ordering::Relaxed);
+                    if seq == 0 {
+                        continue;
+                    }
+                    lines.push(Line {
+                        seq,
+                        ring: ring.id,
+                        kind: EventKind::from_u64(slot.kind.load(Ordering::Relaxed)),
+                        addr: slot.addr.load(Ordering::Relaxed),
+                        rc: slot.rc.load(Ordering::Relaxed),
+                    });
+                }
+            }
+        }
+        lines.sort_by_key(|l| l.seq);
+        let mut out = String::with_capacity(lines.len() * 48 + 64);
+        out.push_str("--- lfrc-obs flight recorder ---\n");
+        for l in &lines {
+            out.push_str(&format!(
+                "seq={} thread={} site={} addr={:#x} rc={}\n",
+                l.seq,
+                l.ring,
+                l.kind.name(),
+                l.addr,
+                l.rc
+            ));
+        }
+        out.push_str("--- end flight recorder ---\n");
+        out
+    }
+
+    fn latch() -> &'static Mutex<Option<String>> {
+        static LATCH: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+        LATCH.get_or_init(|| Mutex::new(None))
+    }
+
+    pub(super) fn note_violation(reason: &str, addr: usize) {
+        let mut slot = latch().lock().unwrap();
+        if slot.is_some() {
+            return; // first violation wins until reset_violations()
+        }
+        let mut text = format!(
+            "lfrc-obs: VIOLATION: {} (addr={:#x})\n",
+            reason, addr
+        );
+        text.push_str(&dump());
+        eprintln!("{}", text);
+        *slot = Some(text);
+    }
+
+    pub(super) fn take_violation_dump() -> Option<String> {
+        latch().lock().unwrap().take()
+    }
+
+    pub(super) fn reset_violations() {
+        *latch().lock().unwrap() = None;
+    }
+}
+
+/// Records one protocol event in the calling thread's ring.
+///
+/// `addr` is the object's address (0 when the event is not about a single
+/// object, e.g. [`EventKind::DeferFlush`]); `rc` is the reference count
+/// observed at the site (or another site-documented quantity, such as
+/// buffer depth for [`EventKind::DeferPark`]).
+#[inline(always)]
+pub fn record(kind: EventKind, addr: usize, rc: u64) {
+    #[cfg(feature = "enabled")]
+    imp::record(kind, addr, rc);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (kind, addr, rc);
+}
+
+/// Renders every ring's retained events, merged and sorted by global
+/// sequence number. Empty (headers only) when nothing was recorded;
+/// empty string when the `enabled` feature is off.
+pub fn dump() -> String {
+    #[cfg(feature = "enabled")]
+    {
+        imp::dump()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        String::new()
+    }
+}
+
+/// Reports a protocol violation: the **first** call after startup (or
+/// after [`reset_violations`]) captures a full [`dump`] into a latch and
+/// echoes it to stderr; later calls are ignored so the dump reflects the
+/// rings *at* the first violation, not after the fallout.
+///
+/// Wired to canary violations (`Census::note_rc_on_freed`), audit
+/// findings, and failing explored schedules.
+pub fn note_violation(reason: &str, addr: usize) {
+    #[cfg(feature = "enabled")]
+    imp::note_violation(reason, addr);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (reason, addr);
+}
+
+/// Removes and returns the latched violation dump, if a violation has
+/// been noted since the last call/reset. Always `None` when disabled.
+pub fn take_violation_dump() -> Option<String> {
+    #[cfg(feature = "enabled")]
+    {
+        imp::take_violation_dump()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        None
+    }
+}
+
+/// Clears the violation latch so the next [`note_violation`] captures a
+/// fresh dump. Tests that *provoke* violations (the E5 counterexample)
+/// call this first to scope the latch to themselves.
+pub fn reset_violations() {
+    #[cfg(feature = "enabled")]
+    imp::reset_violations();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn dump_contains_recorded_event() {
+        record(EventKind::Alloc, 0xBEEF00, 1);
+        let d = dump();
+        assert!(d.contains("site=alloc"), "dump was: {d}");
+        assert!(d.contains("addr=0xbeef00"), "dump was: {d}");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn ring_wraps_keeping_most_recent() {
+        for i in 0..(RING_CAP as u64 + 16) {
+            record(EventKind::Increment, 0x1000, i);
+        }
+        let d = dump();
+        // The newest event survives; an event overwritten by the wrap
+        // (rc = 10 from the first lap) need not.
+        assert!(d.contains(&format!("rc={}", RING_CAP as u64 + 15)), "dump was: {d}");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn violation_latch_is_first_wins_and_resettable() {
+        reset_violations();
+        record(EventKind::RcOnFreed, 0xDEAD10, 0);
+        note_violation("first", 0xDEAD10);
+        note_violation("second", 0xDEAD20);
+        let d = take_violation_dump().expect("latched");
+        assert!(d.contains("first"));
+        assert!(!d.contains("second"));
+        assert!(d.contains("0xdead10"));
+        assert!(take_violation_dump().is_none());
+        reset_violations();
+        note_violation("third", 0xDEAD30);
+        assert!(take_violation_dump().unwrap().contains("third"));
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_recorder_is_inert() {
+        record(EventKind::Alloc, 0xBEEF00, 1);
+        assert_eq!(dump(), "");
+        note_violation("x", 0);
+        assert!(take_violation_dump().is_none());
+    }
+}

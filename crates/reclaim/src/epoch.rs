@@ -293,6 +293,11 @@ impl Collector {
             let state = node.state.load(Ordering::Acquire);
             if state & PINNED == PINNED && state >> 1 != global {
                 // Somebody is pinned in an older epoch: cannot advance.
+                lfrc_obs::counters::incr(lfrc_obs::Counter::EpochAdvanceBlocked);
+                lfrc_obs::counters::record_max(
+                    lfrc_obs::Counter::EpochLagHighWater,
+                    global.saturating_sub(state >> 1),
+                );
                 return global;
             }
             cur = node.next.load(Ordering::Acquire);

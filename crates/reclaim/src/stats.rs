@@ -25,28 +25,50 @@ impl CollectorStats {
 
     pub(crate) fn note_retired(&self, n: u64) {
         self.retired.fetch_add(n, Ordering::Relaxed);
+        lfrc_obs::counters::add(lfrc_obs::Counter::EpochRetired, n);
     }
 
     pub(crate) fn note_freed(&self, n: u64) {
         if n > 0 {
             self.freed.fetch_add(n, Ordering::Relaxed);
+            lfrc_obs::counters::add(lfrc_obs::Counter::EpochFreed, n);
         }
     }
 
     pub(crate) fn note_pin(&self) {
-        self.pins.fetch_add(1, Ordering::Relaxed);
+        // Pinning is the reclamation hot path (one per outermost guard),
+        // so the count lives in exactly one place: the obs registry's
+        // contention-free thread shards when obs is built in, this
+        // collector's shared atomic otherwise. `enabled()` is const, so
+        // the untaken branch folds away.
+        if lfrc_obs::enabled() {
+            lfrc_obs::counters::incr(lfrc_obs::Counter::EpochPin);
+        } else {
+            self.pins.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn note_advance(&self) {
         self.advances.fetch_add(1, Ordering::Relaxed);
+        lfrc_obs::counters::incr(lfrc_obs::Counter::EpochAdvance);
     }
 
     /// Takes a consistent-enough snapshot for reporting.
+    ///
+    /// With obs built in, `pins` is read back from the (process-global)
+    /// counter registry — a program running several collectors sees their
+    /// combined pin count. `retired`/`freed` stay per-collector either
+    /// way; `pending()` is exact.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let pins = if lfrc_obs::enabled() {
+            lfrc_obs::counters::total(lfrc_obs::Counter::EpochPin)
+        } else {
+            self.pins.load(Ordering::Acquire)
+        };
         StatsSnapshot {
             retired: self.retired.load(Ordering::Acquire),
             freed: self.freed.load(Ordering::Acquire),
-            pins: self.pins.load(Ordering::Acquire),
+            pins,
             advances: self.advances.load(Ordering::Acquire),
         }
     }
@@ -97,7 +119,13 @@ mod tests {
         s.note_freed(2);
         let snap = s.snapshot();
         assert_eq!(snap.pending(), 3);
-        assert_eq!(format!("{snap}"), "retired=5 freed=2 pending=3 pins=0 advances=0");
+        // With obs built in, `pins` reads the process-global registry, so
+        // concurrently-running tests make its value arbitrary here — pin
+        // down everything but it.
+        assert_eq!(
+            format!("{snap}"),
+            format!("retired=5 freed=2 pending=3 pins={} advances=0", snap.pins)
+        );
     }
 
     #[test]

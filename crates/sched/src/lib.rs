@@ -334,6 +334,10 @@ impl Schedule {
                     eprintln!("lfrc-sched: replay decision prefix {choices:?}");
                 }
             }
+            // A failing schedule is one of the flight recorder's dump
+            // triggers: latch (and echo) the protocol events leading up
+            // to the failure before unwinding to the explorer.
+            lfrc_obs::recorder::note_violation("explored schedule failed", 0);
             resume_unwind(payload);
         }
         trace

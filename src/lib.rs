@@ -15,7 +15,9 @@
 //! * [`structures`] — Treiber stack and Michael–Scott queue, GC and LFRC
 //!   forms (the paper's breadth claim);
 //! * [`baselines`] — Valois-style freelist RC and locked structures;
-//! * [`harness`] — workload/measurement machinery for EXPERIMENTS.md.
+//! * [`harness`] — workload/measurement machinery for EXPERIMENTS.md;
+//! * [`obs`] — sharded protocol counters, flight recorder, and
+//!   snapshot exporters (no-ops unless the default `obs` feature is on).
 //!
 //! See README.md for a guided tour and `examples/` for runnable entry
 //! points (start with `cargo run --release --example quickstart`).
@@ -25,5 +27,6 @@ pub use lfrc_core as core;
 pub use lfrc_dcas as dcas;
 pub use lfrc_deque as deque;
 pub use lfrc_harness as harness;
+pub use lfrc_obs as obs;
 pub use lfrc_reclaim as reclaim;
 pub use lfrc_structures as structures;

@@ -1,0 +1,133 @@
+//! Integration tests for the observability layer: counter aggregation
+//! across thread exit, census/counter agreement, and the per-phase
+//! exporter driven through the recorded runner.
+//!
+//! The obs registry is process-global, so these tests serialize on a
+//! mutex and measure *deltas* between snapshots rather than absolute
+//! totals. Everything here also passes with `--no-default-features`
+//! (counters read zero and the delta assertions become `0 == 0`,
+//! except where explicitly gated on `obs::enabled()`).
+
+use std::sync::Mutex;
+
+use lfrc_repro::core::{DcasWord, Heap, Links, McasWord, PtrField, SharedField};
+use lfrc_repro::harness::{run_ops_recorded, PhaseRecorder};
+use lfrc_repro::obs::{self, Counter, Snapshot};
+
+/// Serializes tests that read the global counter registry.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct Leaf {
+    #[allow(dead_code)]
+    id: u64,
+}
+
+impl<W: DcasWord> Links<W> for Leaf {
+    fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, W>)) {}
+}
+
+#[test]
+fn counters_aggregate_across_thread_exit() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    const THREADS: u64 = 4;
+    const OPS: u64 = 2_000;
+
+    let heap: Heap<Leaf, McasWord> = Heap::new();
+    let root: SharedField<Leaf, McasWord> = SharedField::null();
+    root.store_consume(heap.alloc(Leaf { id: 0 }));
+
+    let before = Snapshot::take();
+    let census_allocs_before = heap.census().allocs();
+    let census_frees_before = heap.census().frees();
+
+    // Each worker churns the shared root, then *exits* — the registry
+    // must keep its shard counts after the thread is gone (shards are
+    // vacated for reuse, never dropped).
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (root, heap) = (&root, &heap);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    let cur = root.load();
+                    let fresh = heap.alloc(Leaf { id: t * OPS + i });
+                    root.store(Some(&fresh));
+                    drop(fresh);
+                    drop(cur);
+                }
+                lfrc_repro::core::flush_thread();
+            });
+        }
+    });
+    root.store(None);
+    lfrc_repro::core::flush_thread();
+
+    let delta = Snapshot::take().diff(&before);
+    let census_allocs = heap.census().allocs() - census_allocs_before;
+    let census_frees = heap.census().frees() - census_frees_before;
+    assert_eq!(census_allocs, THREADS * OPS);
+
+    if obs::enabled() {
+        // The registry's census mirror must agree exactly with the
+        // census itself — both sides count the same alloc/free events,
+        // one through per-thread shards that survived the workers'
+        // exits, one through the census atomics.
+        assert_eq!(delta.get(Counter::CensusAlloc), census_allocs);
+        assert_eq!(delta.get(Counter::CensusFree), census_frees);
+        // Each op performs one counted load attempt at minimum.
+        assert!(delta.get(Counter::LoadDcasAttempt) >= THREADS * OPS);
+        // Every alloc starts at rc 1 and everything is dead by now, so
+        // decrements must cover at least one per allocation.
+        assert!(delta.get(Counter::RcDecrement) >= census_allocs);
+    } else {
+        assert_eq!(delta.get(Counter::CensusAlloc), 0);
+        assert_eq!(delta.get(Counter::LoadDcasAttempt), 0);
+    }
+}
+
+#[test]
+fn recorded_runner_exports_phase_snapshots() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    let heap: Heap<Leaf, McasWord> = Heap::new();
+    let root: SharedField<Leaf, McasWord> = SharedField::null();
+    root.store_consume(heap.alloc(Leaf { id: 0 }));
+
+    let mut rec = PhaseRecorder::new("obs_integration");
+    let stats = run_ops_recorded(&mut rec, "swing", 2, 500, |_, _| {
+        let fresh = heap.alloc(Leaf { id: 1 });
+        root.store(Some(&fresh));
+    });
+    root.store(None);
+    assert_eq!(stats.ops, 1_000);
+
+    let phases = rec.phases();
+    assert_eq!(phases.len(), 1);
+    assert_eq!(phases[0].label, "swing");
+    assert_eq!(phases[0].ops, Some(1_000));
+    if obs::enabled() {
+        assert!(
+            phases[0].delta.get(Counter::CensusAlloc) >= 1_000,
+            "phase delta missed the allocations made inside the phase"
+        );
+    }
+
+    // The JSON document must round-trip the phase and stay well-formed.
+    let json = rec.to_json();
+    assert!(json.contains("\"experiment\":\"obs_integration\""));
+    assert!(json.contains("\"label\":\"swing\""));
+    assert!(json.contains("\"census_allocs\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn prometheus_export_carries_all_counters() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let text = Snapshot::take().to_prometheus();
+    for c in Counter::ALL {
+        assert!(
+            text.contains(&format!("lfrc_{}", c.name())),
+            "missing metric lfrc_{}",
+            c.name()
+        );
+    }
+}

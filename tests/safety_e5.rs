@@ -75,6 +75,11 @@ fn lfrc_load_never_touches_freed_memory() {
 
 #[test]
 fn naive_cas_load_does_touch_freed_memory() {
+    // A canary hit is also one of the flight recorder's auto-dump
+    // triggers — clear any previously latched report so the dump this
+    // test inspects is its own.
+    lfrc_repro::obs::recorder::reset_violations();
+
     // The defect is probabilistic; retry a few rounds before declaring
     // the counterexample failed to manifest.
     let mut total = 0;
@@ -88,4 +93,27 @@ fn naive_cas_load_does_touch_freed_memory() {
         total > 0,
         "expected the CAS-only protocol to hit freed memory at least once"
     );
+
+    if lfrc_repro::obs::enabled() {
+        let dump = lfrc_repro::obs::recorder::take_violation_dump()
+            .expect("a canary hit must latch a flight-recorder dump");
+        assert!(dump.contains("VIOLATION"), "dump missing header:\n{dump}");
+        assert!(
+            dump.contains("site=rc_on_freed"),
+            "dump missing the canary-hit event:\n{dump}"
+        );
+        // The header names the offending object; the ring must hold that
+        // object's recent events (at minimum the rc_on_freed itself,
+        // recorded just before the violation latched).
+        let addr = dump
+            .lines()
+            .next()
+            .and_then(|l| l.split("addr=").nth(1))
+            .and_then(|rest| rest.split(')').next())
+            .expect("violation header carries the object address");
+        assert!(
+            dump.contains(&format!("addr={addr}")),
+            "dump holds no events for the offending object {addr}:\n{dump}"
+        );
+    }
 }
