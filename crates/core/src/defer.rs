@@ -566,6 +566,15 @@ mod tls_exit_tests {
                 assert_eq!(pending_decrements(), 1);
             });
         });
+        // `scope` returns when the closure finishes, which can be *before*
+        // the thread's TLS destructors (and therefore its exit flush) have
+        // run — the residue described in the module docs. Give the flush a
+        // bounded moment to land rather than racing it.
+        let t0 = std::time::Instant::now();
+        while census.live() != 0 && t0.elapsed() < std::time::Duration::from_secs(5) {
+            std::thread::yield_now();
+        }
         assert_eq!(census.live(), 0, "exit flush did not run");
     }
 }
+

@@ -21,6 +21,16 @@ use lfrc_dcas::DcasWord;
 
 use crate::object::{free_object, word_to_ptr, LfrcBox, Links};
 
+/// What one [`Backlog::step_counted`] call reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Objects freed (the value [`Backlog::step`] returns).
+    pub objects: usize,
+    /// Bytes those objects occupied (header + value), i.e. how much
+    /// memory the step handed back to the pool or global allocator.
+    pub bytes: usize,
+}
+
 /// `LFRCDestroy` (Figure 2 lines 13–15): releases one counted reference;
 /// if the count reaches zero, recursively releases the object's links and
 /// frees it. Null is a no-op ("if v is null, then the function should
@@ -217,8 +227,16 @@ impl<T: Links<W>, W: DcasWord> Backlog<T, W> {
     /// Frees up to `budget` parked objects, cascading their children back
     /// onto the backlog. Returns the number of objects freed.
     pub fn step(&self, budget: usize) -> usize {
-        let mut done = 0;
-        while done < budget {
+        self.step_counted(budget).objects
+    }
+
+    /// Like [`Backlog::step`], but also reports how many bytes of object
+    /// memory the freed headers-plus-values release — what a pause-time
+    /// budget in bytes (rather than object count) needs, since the
+    /// backlog's frees are what feed slots back to the slab pool.
+    pub fn step_counted(&self, budget: usize) -> StepStats {
+        let mut stats = StepStats::default();
+        while stats.objects < budget {
             let Some(p) = self.pop() else { break };
             // Safety: exclusively owned (count zero, off the stack).
             let obj = unsafe { &*p };
@@ -230,9 +248,10 @@ impl<T: Links<W>, W: DcasWord> Backlog<T, W> {
             });
             // Safety: count zero, links harvested.
             unsafe { free_object(p) };
-            done += 1;
+            stats.objects += 1;
+            stats.bytes += std::mem::size_of::<LfrcBox<T, W>>();
         }
-        done
+        stats
     }
 
     /// Runs [`Backlog::step`] until the backlog is empty.

@@ -162,10 +162,20 @@ impl Census {
             // Safety: `data` came from `Box::into_raw::<T>`.
             drop(unsafe { Box::from_raw(data as *mut T) });
         }
-        self.quarantine.lock().unwrap().push(Quarantined {
-            data: ptr as *mut (),
-            free: free::<T>,
-        });
+        // Safety: forwarded caller contract.
+        unsafe { self.quarantine_push_with(ptr as *mut (), free::<T>) };
+    }
+
+    /// Quarantines an allocation with an explicit release function — the
+    /// variant for pool-resident objects, which cannot be freed through
+    /// `Box::from_raw`.
+    ///
+    /// # Safety
+    ///
+    /// `free(data)` must be safe to call exactly once at drain time, when
+    /// no thread holds a pointer into the allocation.
+    pub(crate) unsafe fn quarantine_push_with(&self, data: *mut (), free: unsafe fn(*mut ())) {
+        self.quarantine.lock().unwrap().push(Quarantined { data, free });
     }
 
     /// Releases all quarantined allocations.

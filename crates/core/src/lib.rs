@@ -99,11 +99,11 @@ pub mod shared;
 
 pub use audit::{audit, AuditReport};
 pub use defer::{defer_destroy, flush_thread, pending, pinned, Borrowed, Pin};
-pub use destroy::Backlog;
+pub use destroy::{Backlog, StepStats};
 pub use diag::Census;
 pub use llsc::LinkedPtrField;
 pub use local::Local;
-pub use object::{Heap, LfrcBox, Links, PtrField};
+pub use object::{Backend, Heap, LfrcBox, Links, PtrField};
 pub use shared::SharedField;
 
 // Re-exported so downstream crates name the substrate through one path.

@@ -49,6 +49,9 @@ pub struct LfrcBox<T: Links<W>, W: DcasWord> {
     pub(crate) canary: AtomicU64,
     /// Intrusive hook for the incremental-destruction backlog (§7).
     pub(crate) backlog_next: AtomicUsize,
+    /// `true` when the object lives in a `lfrc-pool` slab slot rather
+    /// than a `Box`; [`free_object`] dispatches the release path on it.
+    pub(crate) pooled: bool,
     /// Accounting for the heap this object came from.
     pub(crate) census: Arc<Census>,
     /// The user value.
@@ -289,15 +292,34 @@ impl<T: Links<W>, W: DcasWord> PtrField<T, W> {
     }
 }
 
+/// Which allocator a [`Heap`] draws nodes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The `lfrc-pool` slab allocator: per-thread magazines, epoch-gated
+    /// slab retirement. Falls back to the global allocator *per object*
+    /// whenever the pool declines a layout (node bigger than
+    /// `lfrc_pool::MAX_ALLOC`, alignment above 64, or the `pool` feature
+    /// off), so the choice never changes observable behaviour.
+    #[default]
+    Pooled,
+    /// The global allocator, always — the benchmark baseline.
+    Global,
+}
+
 /// An allocator of LFRC objects of one node type, with census attached.
 ///
 /// Lock-free structures own a `Heap` and allocate nodes from it; the heap
 /// imposes **no freelist and no type-stable-memory restriction** — nodes
-/// go straight to (and come straight back from) the global allocator,
-/// which is precisely the property the paper contrasts against Valois'
-/// scheme (§1).
+/// come back to the allocator the moment their count hits zero (plus the
+/// emulator's grace period), which is precisely the property the paper
+/// contrasts against Valois' scheme (§1). By default nodes are served
+/// from the `lfrc-pool` slab allocator ([`Backend::Pooled`]); that pool
+/// returns whole slabs to the OS once they empty, so it is a cache, not
+/// a type-stable freelist — and [`Backend::Global`] remains available as
+/// the ablation baseline (experiment E12).
 pub struct Heap<T: Links<W>, W: DcasWord> {
     census: Arc<Census>,
+    backend: Backend,
     _marker: PhantomData<fn() -> (T, W)>,
 }
 
@@ -317,21 +339,36 @@ impl<T: Links<W>, W: DcasWord> Clone for Heap<T, W> {
     fn clone(&self) -> Self {
         Heap {
             census: Arc::clone(&self.census),
+            backend: self.backend,
             _marker: PhantomData,
         }
     }
 }
 
 impl<T: Links<W>, W: DcasWord> Heap<T, W> {
-    /// Creates a heap with a fresh census.
+    /// Creates a heap with a fresh census, drawing from the default
+    /// [`Backend::Pooled`].
     pub fn new() -> Self {
         Self::with_census(Arc::new(Census::new()))
     }
 
+    /// Creates a heap with a fresh census and an explicit backend — the
+    /// benchmark A/B switch.
+    pub fn with_backend(backend: Backend) -> Self {
+        Self::with_census_and_backend(Arc::new(Census::new()), backend)
+    }
+
     /// Creates a heap that reports into an existing census.
     pub fn with_census(census: Arc<Census>) -> Self {
+        Self::with_census_and_backend(census, Backend::default())
+    }
+
+    /// Creates a heap with both an existing census and an explicit
+    /// backend.
+    pub fn with_census_and_backend(census: Arc<Census>, backend: Backend) -> Self {
         Heap {
             census,
+            backend,
             _marker: PhantomData,
         }
     }
@@ -341,22 +378,60 @@ impl<T: Links<W>, W: DcasWord> Heap<T, W> {
         &self.census
     }
 
+    /// The backend this heap draws nodes from.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     /// Allocates a new object with reference count 1 (paper step 1: "this
     /// field should be set to 1 in a newly-created object"), returning the
     /// counted local reference that the count covers.
     pub fn alloc(&self, value: T) -> Local<T, W> {
-        let boxed = Box::new(LfrcBox {
-            rc: W::new(1),
-            canary: AtomicU64::new(CANARY_ALIVE),
-            backlog_next: AtomicUsize::new(0),
-            census: Arc::clone(&self.census),
-            value,
-        });
+        let raw = match self.backend {
+            Backend::Pooled => match self.alloc_pooled(value) {
+                Ok(raw) => raw,
+                Err(value) => self.alloc_global(value),
+            },
+            Backend::Global => self.alloc_global(value),
+        };
         self.census.note_alloc(std::mem::size_of::<LfrcBox<T, W>>());
-        let raw = Box::into_raw(boxed);
         lfrc_obs::recorder::record(lfrc_obs::EventKind::Alloc, raw as usize, 1);
         // Safety: fresh allocation, count 1, owned by the returned Local.
         unsafe { Local::from_counted_raw(raw).expect("fresh allocation is non-null") }
+    }
+
+    /// Tries to place `value` in a pool slot; hands the value back when
+    /// the pool declines the layout.
+    fn alloc_pooled(&self, value: T) -> Result<*mut LfrcBox<T, W>, T> {
+        let layout = std::alloc::Layout::new::<LfrcBox<T, W>>();
+        let Some(slot) = lfrc_pool::alloc(layout) else {
+            return Err(value);
+        };
+        let raw = slot.as_ptr() as *mut LfrcBox<T, W>;
+        // Safety: the slot is uninitialized, exclusively ours, and big
+        // enough for the layout we asked for.
+        unsafe {
+            raw.write(LfrcBox {
+                rc: W::new(1),
+                canary: AtomicU64::new(CANARY_ALIVE),
+                backlog_next: AtomicUsize::new(0),
+                pooled: true,
+                census: Arc::clone(&self.census),
+                value,
+            });
+        }
+        Ok(raw)
+    }
+
+    fn alloc_global(&self, value: T) -> *mut LfrcBox<T, W> {
+        Box::into_raw(Box::new(LfrcBox {
+            rc: W::new(1),
+            canary: AtomicU64::new(CANARY_ALIVE),
+            backlog_next: AtomicUsize::new(0),
+            pooled: false,
+            census: Arc::clone(&self.census),
+            value,
+        }))
     }
 }
 
@@ -386,11 +461,105 @@ pub(crate) unsafe fn free_object<T: Links<W>, W: DcasWord>(ptr: *mut LfrcBox<T, 
     obj.census.note_free(std::mem::size_of::<LfrcBox<T, W>>());
     lfrc_obs::recorder::record(lfrc_obs::EventKind::Free, ptr as usize, 0);
     let census = Arc::clone(&obj.census);
+    let pooled = obj.pooled;
     if census.quarantine_on() {
-        // Safety: pushed exactly once; drained after the experiment.
-        unsafe { census.quarantine_push(ptr) };
+        if pooled {
+            // Safety: pushed exactly once; the drain (which runs at
+            // quiescence) routes the slot back through the pool.
+            unsafe { census.quarantine_push_with(ptr as *mut (), release_pooled_slot::<T, W>) };
+        } else {
+            // Safety: pushed exactly once; drained after the experiment.
+            unsafe { census.quarantine_push(ptr) };
+        }
+    } else if pooled {
+        // Safety: retired exactly once; the algorithm holds no pointers.
+        // The grace period before `release_pooled_slot` runs is what lets
+        // the pool recirculate the slot immediately on release — see the
+        // `lfrc-pool` crate docs.
+        unsafe { lfrc_dcas::retire_fn(ptr as *mut (), release_pooled_slot::<T, W>) };
     } else {
         // Safety: retired exactly once; the algorithm holds no pointers.
         unsafe { lfrc_dcas::retire_box(ptr) };
+    }
+}
+
+/// Deferred release of a pool-resident object: runs the value's `Drop`
+/// and hands the slot back to the pool. The monomorphic `unsafe fn`
+/// shape is what `retire_fn`/`defer_fn` carry through the grace period
+/// without allocating.
+///
+/// # Safety
+///
+/// `p` must be a pooled `LfrcBox<T, W>` whose count reached zero, called
+/// exactly once, after the grace period.
+unsafe fn release_pooled_slot<T: Links<W>, W: DcasWord>(p: *mut ()) {
+    let ptr = p as *mut LfrcBox<T, W>;
+    // Safety: exclusive access per contract; the slot came from
+    // `lfrc_pool::alloc` (we wrote `pooled: true` into it).
+    unsafe {
+        ptr::drop_in_place(ptr);
+        lfrc_pool::dealloc(std::ptr::NonNull::new_unchecked(ptr as *mut u8));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrc_dcas::McasWord;
+
+    struct Node {
+        #[allow(dead_code)]
+        id: u64,
+        next: PtrField<Node, McasWord>,
+    }
+
+    impl Links<McasWord> for Node {
+        fn for_each_link(&self, f: &mut dyn FnMut(&PtrField<Node, McasWord>)) {
+            f(&self.next);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_census_accounting() {
+        for backend in [Backend::Pooled, Backend::Global] {
+            let heap: Heap<Node, McasWord> = Heap::with_backend(backend);
+            assert_eq!(heap.backend(), backend);
+            let nodes: Vec<_> = (0..100)
+                .map(|id| heap.alloc(Node { id, next: PtrField::null() }))
+                .collect();
+            assert_eq!(heap.census().live(), 100, "{backend:?}");
+            drop(nodes);
+            assert_eq!(heap.census().live(), 0, "{backend:?}");
+        }
+        lfrc_dcas::quiesce();
+    }
+
+    #[test]
+    fn default_backend_draws_from_the_pool() {
+        // The dev-dependency turns `lfrc-pool/enabled` on for this
+        // crate's tests, so the default heap must place nodes in slabs.
+        assert!(lfrc_pool::enabled());
+        let heap: Heap<Node, McasWord> = Heap::new();
+        let n = heap.alloc(Node { id: 0, next: PtrField::null() });
+        let raw = Local::option_as_ptr(Some(&n));
+        assert!(unsafe { (*raw).pooled });
+        // And the explicit global backend must not.
+        let global: Heap<Node, McasWord> = Heap::with_backend(Backend::Global);
+        let g = global.alloc(Node { id: 1, next: PtrField::null() });
+        assert!(!unsafe { (*Local::option_as_ptr(Some(&g))).pooled });
+    }
+
+    #[test]
+    fn pooled_nodes_round_trip_through_quarantine() {
+        let heap: Heap<Node, McasWord> = Heap::new();
+        heap.census().set_quarantine(true);
+        let n = heap.alloc(Node { id: 7, next: PtrField::null() });
+        let pooled = unsafe { (*Local::option_as_ptr(Some(&n))).pooled };
+        drop(n);
+        assert_eq!(heap.census().quarantined(), 1);
+        // Safety: fully quiesced — no other thread touches this heap.
+        assert_eq!(unsafe { heap.census().drain_quarantine() }, 1);
+        assert_eq!(heap.census().live(), 0);
+        assert!(pooled, "quarantine test should exercise the pooled release path");
     }
 }

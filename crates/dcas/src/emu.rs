@@ -25,7 +25,24 @@ use lfrc_reclaim::{Collector, LocalHandle};
 
 fn collector() -> &'static Collector {
     static COLLECTOR: OnceLock<Collector> = OnceLock::new();
-    COLLECTOR.get_or_init(Collector::new)
+    COLLECTOR.get_or_init(|| {
+        // The slab pool sits below this crate in the dependency graph, so
+        // it cannot epoch-defer by itself; wire its retirement path to
+        // this collector the first time anything pins. Every pool user
+        // reaches a pin before any slab can possibly retire (slabs retire
+        // on the free path, and frees are themselves epoch-deferred), so
+        // registering here is early enough.
+        lfrc_pool::set_retire_sink(pool_retire_sink);
+        Collector::new()
+    })
+}
+
+/// Retire sink for `lfrc-pool`: a fully-free slab's pages are unmapped
+/// only after one further grace period, so an emulated operation that
+/// still holds a stale slot pointer (the stray *read* hardware DCAS may
+/// perform) keeps reading mapped memory.
+unsafe fn pool_retire_sink(slab: *mut ()) {
+    unsafe { retire_fn(slab, lfrc_pool::release_retired_slab) };
 }
 
 thread_local! {
@@ -44,11 +61,27 @@ thread_local! {
 /// emulator's grace period keeps its memory mapped for the failing DCAS,
 /// exactly as physical memory would remain mapped under hardware DCAS.
 pub fn with_guard<R>(f: impl FnOnce(&Guard<'_>) -> R) -> R {
-    HANDLE.with(|h| {
+    // `Option` dance: the closure below runs at most once, but `try_with`
+    // cannot prove that to the borrow checker.
+    let mut f = Some(f);
+    match HANDLE.try_with(|h| {
         let handle = h.get_or_init(|| collector().register());
         let guard = handle.pin();
-        f(&guard)
-    })
+        (f.take().unwrap())(&guard)
+    }) {
+        Ok(r) => r,
+        // The thread-local handle is already destroyed: we are inside a
+        // TLS destructor (a vacating thread draining its pool magazines
+        // can retire a slab, whose deallocation is epoch-deferred from
+        // right here). Registering a scratch handle is cheap — `register`
+        // reuses vacated registry slots — and correctness only needs *a*
+        // pin, not *this thread's* pin.
+        Err(_) => {
+            let handle = collector().register();
+            let guard = handle.pin();
+            (f.take().unwrap())(&guard)
+        }
+    }
 }
 
 /// Defers physical deallocation of a `Box`-allocated object until no
@@ -65,6 +98,21 @@ pub fn with_guard<R>(f: impl FnOnce(&Guard<'_>) -> R) -> R {
 ///   (for LFRC that is guaranteed: the reference count hit zero).
 pub unsafe fn retire_box<T: Send + 'static>(ptr: *mut T) {
     with_guard(|guard| unsafe { guard.defer_destroy(ptr) });
+}
+
+/// Defers `call(data)` until no in-flight emulated DCAS/MCAS (and no
+/// pin-scoped `Borrowed` reader — they pin the same collector) can still
+/// observe the memory `data` names. The non-allocating sibling of
+/// [`retire_box`], used for pooled-slot releases where the deferred
+/// action is "drop the value in place and hand the slot back to the
+/// pool" rather than a `Box` drop.
+///
+/// # Safety
+///
+/// * `call(data)` must be safe to invoke exactly once, from any thread.
+/// * The algorithm must no longer reach the memory through live pointers.
+pub unsafe fn retire_fn(data: *mut (), call: unsafe fn(*mut ())) {
+    with_guard(|guard| unsafe { guard.defer_fn(data, call) });
 }
 
 /// Counters of the emulator's reclamation domain (descriptors + retired

@@ -58,12 +58,18 @@
 #![warn(missing_debug_implementations)]
 
 pub mod emu;
-pub mod instrument;
 pub mod llsc;
 pub mod locked;
 pub mod mcas;
 
-pub use emu::{emulation_stats, quiesce, retire_box, with_guard};
+// The yield-point instrumentation moved down to `lfrc-obs` (the bottom of
+// the crate graph) so that `lfrc-pool` — which this crate allocates its
+// descriptors from — can reach it without a dependency cycle. The
+// historical paths (`lfrc_dcas::instrument::*`, `lfrc_dcas::InstrSite`)
+// remain valid through this re-export.
+pub use lfrc_obs::instrument;
+
+pub use emu::{emulation_stats, quiesce, retire_box, retire_fn, with_guard};
 pub use instrument::InstrSite;
 pub use llsc::{Linked, LlScCell};
 pub use locked::LockWord;

@@ -20,9 +20,12 @@
 //! and retry their own — no thread ever waits on another, so every cell
 //! operation is lock-free.
 //!
-//! Descriptors are heap-allocated and retired through the emulator's
-//! epoch domain ([`crate::emu`]); an installer remains pinned for as long
-//! as its descriptor can be reachable from any cell, which makes helping
+//! Descriptors are allocated from the `lfrc-pool` slab pool when its
+//! `enabled` feature is on (every attempt allocates one, making this the
+//! emulator's hottest allocation site) — falling back to the global
+//! allocator otherwise — and are retired through the emulator's epoch
+//! domain ([`crate::emu`]); an installer remains pinned for as long as
+//! its descriptor can be reachable from any cell, which makes helping
 //! safe (see DESIGN.md §5.2 for the full argument).
 
 use std::fmt;
@@ -54,6 +57,7 @@ fn decode(word: u64) -> u64 {
 }
 
 /// One sorted entry of an in-flight MCAS. `old`/`new` are *encoded* words.
+#[derive(Clone, Copy)]
 struct Entry {
     cell: *const AtomicU64,
     /// The cell's creation-order id — the global installation order (see
@@ -63,10 +67,44 @@ struct Entry {
     new: u64,
 }
 
+/// Entries stored inline in the descriptor up to this arity (DCAS needs
+/// 2; nothing in the workspace exceeds 4), so the descriptor allocation
+/// is the *only* allocation of an MCAS attempt — a `Vec` buffer per
+/// attempt would put a global-allocator round trip back on the hot path
+/// the slab pool exists to clear.
+const INLINE_ENTRIES: usize = 4;
+
+/// A fixed inline buffer with a `Vec` spill for arities above
+/// [`INLINE_ENTRIES`].
+enum Entries {
+    Inline { buf: [Entry; INLINE_ENTRIES], len: u8 },
+    Spill(Vec<Entry>),
+}
+
+impl Entries {
+    fn from_sorted(sorted: &[Entry]) -> Self {
+        if sorted.len() <= INLINE_ENTRIES {
+            let mut buf = [Entry { cell: std::ptr::null(), order: 0, old: 0, new: 0 };
+                INLINE_ENTRIES];
+            buf[..sorted.len()].copy_from_slice(sorted);
+            Entries::Inline { buf, len: sorted.len() as u8 }
+        } else {
+            Entries::Spill(sorted.to_vec())
+        }
+    }
+
+    fn as_slice(&self) -> &[Entry] {
+        match self {
+            Entries::Inline { buf, len } => &buf[..*len as usize],
+            Entries::Spill(v) => v,
+        }
+    }
+}
+
 /// A published multi-word CAS operation.
 struct McasDescriptor {
     status: AtomicU64,
-    entries: Vec<Entry>,
+    entries: Entries,
 }
 
 // Safety: descriptors are shared across helping threads and retired on a
@@ -88,6 +126,55 @@ struct RdcssDescriptor {
 
 unsafe impl Send for RdcssDescriptor {}
 unsafe impl Sync for RdcssDescriptor {}
+
+/// Allocates a descriptor from the slab pool when it is enabled — every
+/// MCAS attempt allocates one, so this is the emulator's hottest
+/// allocation site — falling back to the global allocator when the pool
+/// is compiled out or the layout is unsupported. The returned flag
+/// records which allocator owns the memory; pass it back to
+/// [`desc_retire`].
+fn desc_alloc<T>(value: T) -> (*mut T, bool) {
+    if let Some(raw) = lfrc_pool::alloc(std::alloc::Layout::new::<T>()) {
+        let ptr = raw.as_ptr() as *mut T;
+        // Safety: a fresh pool slot of the requested layout.
+        unsafe { ptr.write(value) };
+        (ptr, true)
+    } else {
+        (Box::into_raw(Box::new(value)), false)
+    }
+}
+
+/// Epoch-retires a descriptor from [`desc_alloc`]. Pool slots go back to
+/// the slab (dropped in place) once the grace period passes; boxed
+/// descriptors take the emulator's usual boxed-retire path.
+///
+/// # Safety
+///
+/// `ptr` must come from `desc_alloc` with the same `pooled` flag, must be
+/// retired exactly once, and must be unreachable to threads that pin
+/// after this call.
+unsafe fn desc_retire<T: Send + 'static>(
+    guard: &lfrc_reclaim::epoch::Guard<'_>,
+    ptr: *mut T,
+    pooled: bool,
+) {
+    unsafe fn release<T>(p: *mut ()) {
+        let ptr = p as *mut T;
+        // Safety: grace period has passed; `ptr` is a pool slot holding a
+        // valid `T`.
+        unsafe {
+            std::ptr::drop_in_place(ptr);
+            lfrc_pool::dealloc(std::ptr::NonNull::new_unchecked(ptr as *mut u8));
+        }
+    }
+    if pooled {
+        // Safety: forwarded caller contract.
+        unsafe { guard.defer_fn(ptr as *mut (), release::<T>) };
+    } else {
+        // Safety: forwarded caller contract.
+        unsafe { guard.defer_destroy(ptr) };
+    }
+}
 
 #[inline]
 unsafe fn mcas_desc<'a>(word: u64) -> &'a McasDescriptor {
@@ -144,12 +231,12 @@ fn rdcss(
         return peek;
     }
 
-    let desc = Box::into_raw(Box::new(RdcssDescriptor {
+    let (desc, pooled) = desc_alloc(RdcssDescriptor {
         status_location,
         data: entry.cell,
         old: entry.old,
         mcas_word,
-    }));
+    });
     // Safety: freshly allocated; shared only via the tagged word below.
     let tagged = desc as u64 | TAG_RDCSS;
     let result = loop {
@@ -173,7 +260,7 @@ fn rdcss(
     // The descriptor is no longer installed anywhere (and only this thread
     // could install it), so it can be retired.
     // Safety: retired exactly once; unreachable to threads pinning later.
-    unsafe { guard.defer_destroy(desc) };
+    unsafe { desc_retire(guard, desc, pooled) };
     result
 }
 
@@ -184,7 +271,7 @@ fn mcas_help(guard: &lfrc_reclaim::epoch::Guard<'_>, tagged: u64) -> bool {
     let desc = unsafe { mcas_desc(tagged) };
     if desc.status.load(Ordering::SeqCst) == UNDECIDED {
         let mut outcome = SUCCEEDED;
-        'phase1: for entry in &desc.entries {
+        'phase1: for entry in desc.entries.as_slice() {
             loop {
                 let seen = rdcss(guard, &desc.status, entry, tagged);
                 if seen == entry.old || seen == tagged {
@@ -211,7 +298,7 @@ fn mcas_help(guard: &lfrc_reclaim::epoch::Guard<'_>, tagged: u64) -> bool {
     }
     // Phase 2: unlink the descriptor from every cell.
     let succeeded = desc.status.load(Ordering::SeqCst) == SUCCEEDED;
-    for entry in &desc.entries {
+    for entry in desc.entries.as_slice() {
         let replacement = if succeeded { entry.new } else { entry.old };
         // Safety: cell alive while pinned.
         let _ = unsafe { &*entry.cell }.compare_exchange(
@@ -314,15 +401,26 @@ impl DcasWord for McasWord {
     }
 
     fn mcas(ops: &[McasOp<'_, Self>]) -> bool {
-        let mut entries: Vec<Entry> = ops
-            .iter()
-            .map(|op| Entry {
-                cell: &op.cell.word as *const AtomicU64,
-                order: op.cell.order,
-                old: encode(op.old),
-                new: encode(op.new),
-            })
-            .collect();
+        let entry_of = |op: &McasOp<'_, Self>| Entry {
+            cell: &op.cell.word as *const AtomicU64,
+            order: op.cell.order,
+            old: encode(op.old),
+            new: encode(op.new),
+        };
+        // Stage the entries on the stack when they fit inline, so the
+        // descriptor itself is the attempt's only allocation.
+        let mut inline =
+            [Entry { cell: std::ptr::null(), order: 0, old: 0, new: 0 }; INLINE_ENTRIES];
+        let mut spill = Vec::new();
+        let entries: &mut [Entry] = if ops.len() <= INLINE_ENTRIES {
+            for (slot, op) in inline.iter_mut().zip(ops) {
+                *slot = entry_of(op);
+            }
+            &mut inline[..ops.len()]
+        } else {
+            spill.extend(ops.iter().map(entry_of));
+            &mut spill
+        };
         // A global installation order prevents livelock between
         // overlapping operations (Harris et al. §4). Creation order is
         // used instead of address order so schedules replay exactly.
@@ -332,17 +430,17 @@ impl DcasWord for McasWord {
             "mcas entries must target distinct cells"
         );
         with_guard(|guard| {
-            let desc = Box::into_raw(Box::new(McasDescriptor {
+            let (desc, pooled) = desc_alloc(McasDescriptor {
                 status: AtomicU64::new(UNDECIDED),
-                entries,
-            }));
+                entries: Entries::from_sorted(entries),
+            });
             let tagged = desc as u64 | TAG_MCAS;
             let ok = mcas_help(guard, tagged);
             // By the time the owning help call returns, every helper that
             // could re-install the descriptor is itself still pinned, so
             // epoch retirement is safe (DESIGN.md §5.2).
             // Safety: retired exactly once, by the owner.
-            unsafe { guard.defer_destroy(desc) };
+            unsafe { desc_retire(guard, desc, pooled) };
             ok
         })
     }

@@ -80,11 +80,27 @@ pub enum Counter {
     /// Census: count mutations that touched a freed object (always zero
     /// for the sound protocol; positive under the E5 counterexample).
     CensusRcOnFreed,
+    /// Pool: allocations served from the calling thread's magazine (the
+    /// no-shared-atomics fast path).
+    PoolMagazineHit,
+    /// Pool: allocations that missed the magazine and refilled from a
+    /// slab (or fell back to the global allocator).
+    PoolMagazineMiss,
+    /// Pool: slots pushed onto a slab's lock-free remote-free stack
+    /// (magazine overflow or cross-thread release).
+    PoolRemoteFree,
+    /// Pool: slabs mapped from the OS.
+    PoolSlabAlloc,
+    /// Pool: fully-free slabs unlinked and (epoch-deferred) handed back
+    /// to the OS — the shrink edge Valois-style freelists lack.
+    PoolSlabRetire,
+    /// High-water mark of simultaneously live (mapped, unretired) slabs.
+    PoolSlabsLiveHighWater,
 }
 
 impl Counter {
     /// Every variant, in discriminant order (the shard layout).
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 29] = [
         Counter::LoadDcasAttempt,
         Counter::LoadDcasRetry,
         Counter::LoadDeferred,
@@ -108,6 +124,12 @@ impl Counter {
         Counter::CensusAlloc,
         Counter::CensusFree,
         Counter::CensusRcOnFreed,
+        Counter::PoolMagazineHit,
+        Counter::PoolMagazineMiss,
+        Counter::PoolRemoteFree,
+        Counter::PoolSlabAlloc,
+        Counter::PoolSlabRetire,
+        Counter::PoolSlabsLiveHighWater,
     ];
 
     /// Stable snake_case metric name (JSON key; Prometheus name after the
@@ -137,6 +159,12 @@ impl Counter {
             Counter::CensusAlloc => "census_allocs",
             Counter::CensusFree => "census_frees",
             Counter::CensusRcOnFreed => "census_rc_on_freed",
+            Counter::PoolMagazineHit => "pool_magazine_hits",
+            Counter::PoolMagazineMiss => "pool_magazine_misses",
+            Counter::PoolRemoteFree => "pool_remote_frees",
+            Counter::PoolSlabAlloc => "pool_slab_allocs",
+            Counter::PoolSlabRetire => "pool_slab_retires",
+            Counter::PoolSlabsLiveHighWater => "pool_slabs_live",
         }
     }
 
@@ -145,7 +173,9 @@ impl Counter {
     pub fn is_high_water(self) -> bool {
         matches!(
             self,
-            Counter::DeferDepthHighWater | Counter::EpochLagHighWater
+            Counter::DeferDepthHighWater
+                | Counter::EpochLagHighWater
+                | Counter::PoolSlabsLiveHighWater
         )
     }
 }

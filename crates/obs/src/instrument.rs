@@ -3,19 +3,30 @@
 //! The LFRC safety argument is about *interleavings*: the weakened
 //! reference-count invariant must hold no matter where a thread is
 //! preempted. The windows where it could break are known and small — the
-//! `LFRCLoad` DCAS window, the destroy decrement, and the span between an
-//! MCAS descriptor's installation and its resolution — so those program
-//! points call [`yield_point`], and a scheduler (the `lfrc-sched` crate)
-//! installs a per-thread hook that turns each call into a deterministic
-//! context-switch opportunity.
+//! `LFRCLoad` DCAS window, the destroy decrement, the span between an
+//! MCAS descriptor's installation and its resolution, and the slab pool's
+//! recycle/retire edges — so those program points call [`yield_point`],
+//! and a scheduler (the `lfrc-sched` crate) installs a per-thread hook
+//! that turns each call into a deterministic context-switch opportunity.
 //!
 //! When no hook is installed (every production and ordinary-test thread),
 //! a yield point is one thread-local read and nothing else.
 //!
-//! This module lives in `lfrc-dcas` rather than in the scheduler crate so
-//! the instrumented crates (`lfrc-core`, `lfrc-deque`, and this one) need
-//! no dependency on the scheduler: the dependency arrow points from the
-//! tool to the code under test, never back.
+//! This module lives in `lfrc-obs` — the bottom of the crate graph — so
+//! that *every* instrumented crate (`lfrc-dcas`, `lfrc-core`,
+//! `lfrc-deque`, `lfrc-pool`) can reach it without dependency cycles:
+//! the pool sits below the DCAS emulation (which allocates descriptors
+//! from it) yet still needs its own yield sites. The dependency arrow
+//! points from the tool to the code under test, never back; `lfrc-dcas`
+//! re-exports this module under its historical path
+//! (`lfrc_dcas::instrument`), so call sites are unchanged.
+//!
+//! Unlike [`counters`](crate::counters) and
+//! [`recorder`](crate::recorder), this module is **not** gated on the
+//! `enabled` cargo feature: schedule exploration must work in
+//! `--no-default-features` builds (that is exactly what the
+//! `pool-disabled`/`obs-disabled` CI jobs exercise), and an un-hooked
+//! yield point is already free of atomics.
 
 use std::cell::RefCell;
 
@@ -68,6 +79,19 @@ pub enum InstrSite {
     /// reading a nonzero count and the CAS that increments it — the
     /// CAS-only window of §1 made sound by the pin plus CAS-from-nonzero.
     BorrowPromote,
+    /// Pool: a magazine hit is about to hand out a cached (possibly
+    /// previously used) slot — the recycle edge where a stale reader
+    /// racing the slot's previous life would be caught.
+    PoolMagazineHit,
+    /// Pool: a slot is about to be pushed onto its owning slab's
+    /// lock-free remote-free stack (cross-thread free / magazine
+    /// overflow), the window between the push and the slab's free-count
+    /// update.
+    PoolRemoteFree,
+    /// Pool: a fully-free slab has been chosen for retirement but its
+    /// physical deallocation has not yet been epoch-deferred — the window
+    /// the one-epoch retirement lag exists to protect.
+    PoolSlabRetire,
 }
 
 impl InstrSite {
@@ -88,6 +112,9 @@ impl InstrSite {
             InstrSite::DeferEpochAdvance => 12,
             InstrSite::BorrowLoad => 13,
             InstrSite::BorrowPromote => 14,
+            InstrSite::PoolMagazineHit => 15,
+            InstrSite::PoolRemoteFree => 16,
+            InstrSite::PoolSlabRetire => 17,
         }
     }
 
@@ -108,7 +135,26 @@ impl InstrSite {
             InstrSite::DeferEpochAdvance => "defer-epoch-advance",
             InstrSite::BorrowLoad => "borrow-load",
             InstrSite::BorrowPromote => "borrow-promote",
+            InstrSite::PoolMagazineHit => "pool-magazine-hit",
+            InstrSite::PoolRemoteFree => "pool-remote-free",
+            InstrSite::PoolSlabRetire => "pool-slab-retire",
         }
+    }
+
+    /// Whether this site fires from inside the slab pool.
+    ///
+    /// Pool sites are special for deterministic scheduling: whether the
+    /// allocator reaches them depends on *process-global* pool state
+    /// (magazine fill, remote-free stacks, slab occupancy) that other
+    /// threads — including ones outside the scheduled run — mutate
+    /// freely. A schedule whose decisions consume pool sites is therefore
+    /// not a pure function of `(seed, bodies)`, so the scheduler skips
+    /// them unless a test opts in.
+    pub fn is_pool(self) -> bool {
+        matches!(
+            self,
+            InstrSite::PoolMagazineHit | InstrSite::PoolRemoteFree | InstrSite::PoolSlabRetire
+        )
     }
 }
 
@@ -121,9 +167,14 @@ thread_local! {
 
 /// Called at every instrumented site. Invokes the calling thread's hook
 /// if one is installed; a no-op otherwise.
+///
+/// Sites are reachable from thread-exit destructors (a vacating thread
+/// drains its pool magazines, which can remote-free and even retire a
+/// slab), so this must tolerate the hook's own TLS slot being already
+/// destroyed — `try_with` treats that as "no hook installed".
 #[inline]
 pub fn yield_point(site: InstrSite) {
-    HOOK.with(|h| {
+    let _ = HOOK.try_with(|h| {
         // The hook may block for a long time (that is its purpose: the
         // scheduler parks the thread here). Re-entry is impossible — the
         // thread is inside the hook, so it cannot reach another site.
@@ -196,6 +247,9 @@ mod tests {
             InstrSite::DeferEpochAdvance,
             InstrSite::BorrowLoad,
             InstrSite::BorrowPromote,
+            InstrSite::PoolMagazineHit,
+            InstrSite::PoolRemoteFree,
+            InstrSite::PoolSlabRetire,
         ];
         let mut tags: Vec<u64> = sites.iter().map(|s| s.tag()).collect();
         tags.sort_unstable();

@@ -20,6 +20,15 @@
 //!   Prometheus-style text and JSON emitters; the harness records one
 //!   snapshot per experiment phase into `experiment-results/obs/`.
 //!
+//! A fourth piece, [`instrument`], is **not** feature-gated: it hosts the
+//! cross-crate yield points that `lfrc-sched` turns into deterministic
+//! preemption opportunities. It lives here (rather than in `lfrc-dcas`,
+//! its historical home, which still re-exports it) because this crate is
+//! the bottom of the dependency graph — the slab pool (`lfrc-pool`) sits
+//! *below* the DCAS emulation yet needs yield sites of its own. An
+//! un-hooked yield point is a single thread-local read, so leaving it
+//! ungated does not compromise the no-op builds.
+//!
 //! # Why relaxed counters cannot perturb the protocol
 //!
 //! Every counter mutation is `Ordering::Relaxed` on a cell that only the
@@ -35,9 +44,11 @@
 
 pub mod counters;
 pub mod export;
+pub mod instrument;
 pub mod recorder;
 
 pub use counters::Counter;
+pub use instrument::InstrSite;
 pub use export::Snapshot;
 pub use recorder::EventKind;
 

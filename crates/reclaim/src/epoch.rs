@@ -74,6 +74,14 @@ struct Deferred {
 unsafe impl Send for Deferred {}
 
 impl Deferred {
+    /// Pairs a raw datum with a plain function pointer — the
+    /// zero-allocation constructor behind [`Guard::defer_fn`]. (The
+    /// `destroy_box`/`from_fn` constructors monomorphize their own
+    /// thunks; this one takes the caller's.)
+    fn from_raw_parts(data: *mut (), call: unsafe fn(*mut ())) -> Self {
+        Deferred { data, call }
+    }
+
     fn destroy_box<T>(ptr: *mut T) -> Self {
         unsafe fn call<T>(data: *mut ()) {
             // Safety: `data` was produced by `Box::into_raw` upstream.
@@ -489,19 +497,41 @@ impl LocalHandle {
     /// the epoch as many times as possible. Intended for tests and teardown;
     /// with no concurrently pinned threads this frees *all* garbage.
     pub fn flush(&self) {
-        for _ in 0..3 {
-            self.collect();
+        // Three collects push one generation of garbage through the
+        // two-epoch grace period — but executing a deferred action may
+        // itself defer more work at the *current* epoch (a pooled-slot
+        // release that empties its slab defers the slab's deallocation),
+        // so one generation is not necessarily the end. Keep going while
+        // passes make progress; stop as soon as a full generation frees
+        // nothing (pending then only holds garbage some still-pinned
+        // thread protects).
+        loop {
+            let before = self.collector.stats().pending();
+            for _ in 0..3 {
+                self.collect();
+            }
+            let after = self.collector.stats().pending();
+            if after == 0 || after >= before {
+                return;
+            }
         }
     }
 
     fn reap_local(&self, global: u64) {
-        let bag = self.bag_mut();
-        let eligible = bag.iter().take_while(|(e, _)| e + 2 <= global).count();
-        if eligible > 0 {
-            let mut freed = 0u64;
-            for (_, d) in bag.drain(..eligible) {
+        // Move the eligible prefix out of the bag *before* executing any
+        // of it: a deferred action may re-enter `retire` on this same
+        // handle (a pooled-slot release that empties its slab defers the
+        // slab's own deallocation), which would otherwise push into the
+        // bag while `drain` holds the mutable borrow.
+        let eligible: Vec<Deferred> = {
+            let bag = self.bag_mut();
+            let n = bag.iter().take_while(|(e, _)| e + 2 <= global).count();
+            bag.drain(..n).map(|(_, d)| d).collect()
+        };
+        if !eligible.is_empty() {
+            let freed = eligible.len() as u64;
+            for d in eligible {
                 d.execute();
-                freed += 1;
             }
             self.collector.inner.stats.note_freed(freed);
         }
@@ -583,6 +613,24 @@ impl Guard<'_> {
     /// Defers an arbitrary action until the current epoch is safely past.
     pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
         self.local.retire(Deferred::from_fn(f));
+    }
+
+    /// Defers `call(data)` until the current epoch is safely past,
+    /// without allocating: the pair is pushed straight into the thread's
+    /// garbage bag. This is the hot-path variant of [`Guard::defer`] used
+    /// by the slab pool's slot releases (one per freed LFRC object — a
+    /// boxed closure there would put the allocator back on the free
+    /// path the pool exists to take it off).
+    ///
+    /// # Safety
+    ///
+    /// * `call(data)` must be safe to invoke exactly once, from any
+    ///   thread (the pair is `Send` by fiat).
+    /// * The action must uphold the same reachability contract as
+    ///   [`Guard::defer_destroy`]: whatever `data` names must already be
+    ///   unreachable to threads that pin after this call.
+    pub unsafe fn defer_fn(&self, data: *mut (), call: unsafe fn(*mut ())) {
+        self.local.retire(Deferred::from_raw_parts(data, call));
     }
 
     /// The handle this guard pins.

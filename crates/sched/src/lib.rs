@@ -251,6 +251,7 @@ pub type Body<'env> = Box<dyn FnOnce() + Send + 'env>;
 #[derive(Debug, Clone)]
 pub struct Schedule {
     max_steps: u64,
+    pool_sites: bool,
 }
 
 impl Default for Schedule {
@@ -261,8 +262,9 @@ impl Default for Schedule {
 
 impl Schedule {
     /// A scheduler with the default step cap (200 000 yield points).
+    /// Pool sites are excluded by default — see [`Schedule::pool_sites`].
     pub fn new() -> Self {
-        Schedule { max_steps: 200_000 }
+        Schedule { max_steps: 200_000, pool_sites: false }
     }
 
     /// Overrides the step cap. The cap turns a livelocked schedule
@@ -270,6 +272,21 @@ impl Schedule {
     /// a reported failure instead of a hung test.
     pub fn max_steps(mut self, n: u64) -> Self {
         self.max_steps = n;
+        self
+    }
+
+    /// Opts the slab pool's yield sites (`Pool…`, see
+    /// [`InstrSite::is_pool`]) into scheduling.
+    ///
+    /// They are off by default because whether the allocator reaches them
+    /// depends on process-global pool state that concurrent, unscheduled
+    /// threads mutate freely — with them on, a trace is no longer a pure
+    /// function of `(seed, bodies)`, so bit-identical replay is *not*
+    /// guaranteed. Pool-focused exploration tests turn them on to drive
+    /// races through the allocator itself and assert invariants (never
+    /// trace equality).
+    pub fn pool_sites(mut self, on: bool) -> Self {
+        self.pool_sites = on;
         self
     }
 
@@ -302,7 +319,8 @@ impl Schedule {
         std::thread::scope(|s| {
             for (id, body) in bodies.into_iter().enumerate() {
                 let shared = Arc::clone(&shared);
-                s.spawn(move || worker(shared, id, body));
+                let pool_sites = self.pool_sites;
+                s.spawn(move || worker(shared, id, body, pool_sites));
             }
             // Open the start gate: pick the first thread to run.
             let mut st = lock(&shared.state);
@@ -356,7 +374,7 @@ fn lock<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn worker(shared: Arc<Shared>, id: usize, body: Body<'_>) {
+fn worker(shared: Arc<Shared>, id: usize, body: Body<'_>, pool_sites: bool) {
     // Park at the start gate until scheduled for the first time.
     {
         let mut st = lock(&shared.state);
@@ -366,9 +384,14 @@ fn worker(shared: Arc<Shared>, id: usize, body: Body<'_>) {
     }
 
     // Every instrumented yield point in code run by this body now routes
-    // into the scheduler.
+    // into the scheduler. Pool sites are forwarded only on opt-in: their
+    // firing depends on global allocator state, so scheduling on them
+    // would break bit-identical replay (see `Schedule::pool_sites`).
     let hook_shared = Arc::clone(&shared);
     instrument::set_thread_hook(Some(Box::new(move |site| {
+        if site.is_pool() && !pool_sites {
+            return;
+        }
         yield_to_scheduler(&hook_shared, id, site);
     })));
     let result = catch_unwind(AssertUnwindSafe(body));

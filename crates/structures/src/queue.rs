@@ -245,7 +245,14 @@ impl<W: DcasWord> LfrcQueue<W> {
     /// Creates an empty queue (one sentinel node, rc owned by `head` and
     /// `tail`).
     pub fn new() -> Self {
-        let heap: Heap<LfrcQueueNode<W>, W> = Heap::new();
+        Self::with_backend(lfrc_core::Backend::default())
+    }
+
+    /// Creates an empty queue whose nodes come from the given allocation
+    /// backend — `Pooled` (the default) or `Global`. Experiment E12
+    /// benches the two against each other.
+    pub fn with_backend(backend: lfrc_core::Backend) -> Self {
+        let heap: Heap<LfrcQueueNode<W>, W> = Heap::with_backend(backend);
         let sentinel = heap.alloc(LfrcQueueNode {
             value: 0,
             next: PtrField::null(),

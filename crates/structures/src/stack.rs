@@ -251,9 +251,16 @@ impl<W: DcasWord> Default for LfrcStack<W> {
 impl<W: DcasWord> LfrcStack<W> {
     /// Creates an empty stack.
     pub fn new() -> Self {
+        Self::with_backend(lfrc_core::Backend::default())
+    }
+
+    /// Creates an empty stack whose nodes come from the given allocation
+    /// backend — `Pooled` (the default) or `Global`. Experiment E12
+    /// benches the two against each other.
+    pub fn with_backend(backend: lfrc_core::Backend) -> Self {
         LfrcStack {
             head: SharedField::null(),
-            heap: Heap::new(),
+            heap: Heap::with_backend(backend),
         }
     }
 

@@ -17,4 +17,15 @@ for exp in exp1_ops exp2_deque exp3_memory exp4_stall exp5_aba \
     echo
 done
 
+# E12 compares builds, so it runs through `cargo bench` twice rather
+# than a table binary: once with the pool (default) and once without.
+echo "=== e12_pool ==="
+{
+    echo "== pool on (default features) =="
+    cargo bench -q -p lfrc-bench --bench e12_pool
+    echo
+    echo "== pool off (--no-default-features --features obs) =="
+    cargo bench -q -p lfrc-bench --bench e12_pool --no-default-features --features obs
+} | tee "$out/e12_pool_regen.txt"
+
 echo "All experiment outputs written to $out/"

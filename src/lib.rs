@@ -17,7 +17,11 @@
 //! * [`baselines`] — Valois-style freelist RC and locked structures;
 //! * [`harness`] — workload/measurement machinery for EXPERIMENTS.md;
 //! * [`obs`] — sharded protocol counters, flight recorder, and
-//!   snapshot exporters (no-ops unless the default `obs` feature is on).
+//!   snapshot exporters (no-ops unless the default `obs` feature is on);
+//! * [`pool`] — the epoch-gated slab allocator with per-thread magazines
+//!   that backs LFRC nodes and MCAS descriptors (DESIGN.md §5.11;
+//!   allocations fall back to the global allocator unless the default
+//!   `pool` feature is on).
 //!
 //! See README.md for a guided tour and `examples/` for runnable entry
 //! points (start with `cargo run --release --example quickstart`).
@@ -28,5 +32,6 @@ pub use lfrc_dcas as dcas;
 pub use lfrc_deque as deque;
 pub use lfrc_harness as harness;
 pub use lfrc_obs as obs;
+pub use lfrc_pool as pool;
 pub use lfrc_reclaim as reclaim;
 pub use lfrc_structures as structures;

@@ -120,6 +120,47 @@ fn recorded_runner_exports_phase_snapshots() {
 }
 
 #[test]
+fn pool_counters_flow_into_exports() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    if !(obs::enabled() && lfrc_repro::pool::enabled()) {
+        return;
+    }
+    let before = Snapshot::take();
+    // Churn enough pooled nodes to guarantee magazine traffic: the first
+    // allocation of a class is a miss, frees then stock the magazine and
+    // subsequent allocations hit it.
+    let heap: Heap<Leaf, McasWord> = Heap::new();
+    for i in 0..256 {
+        drop(heap.alloc(Leaf { id: i }));
+    }
+    lfrc_repro::core::flush_thread();
+    lfrc_repro::dcas::quiesce();
+
+    let delta = Snapshot::take().diff(&before);
+    assert!(
+        delta.get(Counter::PoolMagazineHit) > 0,
+        "pooled churn produced no magazine hits"
+    );
+
+    // Both export formats must carry the pool metrics with the values
+    // the registry holds — names and numbers, not just names.
+    let hits = delta.get(Counter::PoolMagazineHit);
+    let prom = delta.to_prometheus();
+    assert!(
+        prom.contains(&format!("lfrc_pool_magazine_hits {hits}")),
+        "prometheus export lost the pool hit count: {prom}"
+    );
+    let json = delta.to_json();
+    assert!(
+        json.contains(&format!("\"pool_magazine_hits\":{hits}")),
+        "json export lost the pool hit count: {json}"
+    );
+    for name in ["pool_remote_frees", "pool_slab_allocs", "pool_slab_retires"] {
+        assert!(prom.contains(name) && json.contains(name), "missing {name}");
+    }
+}
+
+#[test]
 fn prometheus_export_carries_all_counters() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let text = Snapshot::take().to_prometheus();
