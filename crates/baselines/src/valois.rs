@@ -97,7 +97,12 @@ impl Pool {
             let next = unsafe { (*node).free_next.load(Ordering::Acquire) };
             if self
                 .free_head
-                .compare_exchange(head, pack(unpack(next).0, tag + 1), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    head,
+                    pack(unpack(next).0, tag + 1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 // Safety: we own the node now.
@@ -141,7 +146,12 @@ impl Pool {
             unsafe { (*node).free_next.store(head & ADDR_MASK, Ordering::Release) };
             if self
                 .free_head
-                .compare_exchange(head, pack(node, tag + 1), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    head,
+                    pack(node, tag + 1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 return;
@@ -280,8 +290,8 @@ impl lfrc_structures::ConcurrentStack for ValoisStack {
     fn pop(&self) -> Option<u64> {
         loop {
             let p = self.load_counted(&self.head)?; // rc(p) ≥ 2 now
-            // Safety: counted reference keeps `p` out of the freelist, so
-            // `next` is this incarnation's link.
+                                                    // Safety: counted reference keeps `p` out of the freelist, so
+                                                    // `next` is this incarnation's link.
             let node = unsafe { &*p };
             let next = node.next.load(Ordering::Acquire);
             if self
@@ -415,6 +425,9 @@ mod tests {
             }
         });
         while s.pop().is_some() {}
-        assert!(s.pool_nodes() <= 16, "churn should reuse a handful of nodes");
+        assert!(
+            s.pool_nodes() <= 16,
+            "churn should reuse a handful of nodes"
+        );
     }
 }

@@ -140,8 +140,14 @@ fn main() {
     let window = Duration::from_millis(400);
     const KEY_SPACE: u64 = 256;
     println!();
-    println!("e10 read-heavy skiplist throughput (90% contains, {KEY_SPACE} keys, {}ms window)", window.as_millis());
-    println!("{:>8} {:>16} {:>16} {:>8}", "threads", "counted Mops/s", "deferred Mops/s", "ratio");
+    println!(
+        "e10 read-heavy skiplist throughput (90% contains, {KEY_SPACE} keys, {}ms window)",
+        window.as_millis()
+    );
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "threads", "counted Mops/s", "deferred Mops/s", "ratio"
+    );
     for threads in [1usize, 2, 4, 8] {
         let list = seeded_list(KEY_SPACE);
         let counted = read_heavy_mops(&list, threads, window, false, KEY_SPACE);

@@ -69,11 +69,7 @@ fn main() {
             lfrc_obs::counters::record_max(black_box(Counter::DeferDepthHighWater), 3);
         });
         g.bench_function("recorder_event", || {
-            lfrc_obs::recorder::record(
-                black_box(lfrc_obs::EventKind::LoadAcquire),
-                0xdead_beef,
-                2,
-            );
+            lfrc_obs::recorder::record(black_box(lfrc_obs::EventKind::LoadAcquire), 0xdead_beef, 2);
         });
         g.finish();
     }

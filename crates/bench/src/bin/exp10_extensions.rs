@@ -140,20 +140,26 @@ fn main() {
         let s: LfrcStack<McasWord> = LfrcStack::new();
         t.row([
             s.impl_name(),
-            format!("{:.0}", ns_per_op(50_000, || {
-                s.push(1);
-                std::hint::black_box(s.pop());
-            })),
+            format!(
+                "{:.0}",
+                ns_per_op(50_000, || {
+                    s.push(1);
+                    std::hint::black_box(s.pop());
+                })
+            ),
         ]);
     }
     {
         let s: LlscStack<McasWord> = LlscStack::new();
         t.row([
             s.impl_name(),
-            format!("{:.0}", ns_per_op(50_000, || {
-                s.push(1);
-                std::hint::black_box(s.pop());
-            })),
+            format!(
+                "{:.0}",
+                ns_per_op(50_000, || {
+                    s.push(1);
+                    std::hint::black_box(s.pop());
+                })
+            ),
         ]);
     }
     print!("{t}");

@@ -48,7 +48,7 @@ fn measure(d: &dyn ConcurrentDeque, hiccups: bool) -> LatencyHistogram {
                         if site == PauseSite::PopBeforeDcas {
                             let c = counter.get() + 1;
                             counter.set(c);
-                            if c % HICCUP_EVERY == 0 {
+                            if c.is_multiple_of(HICCUP_EVERY) {
                                 std::thread::sleep(HICCUP);
                             }
                         }
@@ -60,14 +60,14 @@ fn measure(d: &dyn ConcurrentDeque, hiccups: bool) -> LatencyHistogram {
                     // Worker 0's own (hiccuped) ops are not recorded: the
                     // question is what *other* threads' tails look like.
                     if w == 0 && hiccups {
-                        if i % 2 == 0 {
+                        if i.is_multiple_of(2) {
                             d.push_right(i % 500);
                         } else {
                             std::hint::black_box(d.pop_left());
                         }
                     } else {
                         let start = Instant::now();
-                        if i % 2 == 0 {
+                        if i.is_multiple_of(2) {
                             d.push_right(i % 500);
                         } else {
                             std::hint::black_box(d.pop_left());
@@ -95,7 +95,15 @@ fn main() {
          so 'ops >= 10ms' counts *inherited* stalls.\n",
         WINDOW.as_millis()
     );
-    let mut t = Table::new(["impl", "regime", "p50", "p99", "max", "ops >= 10ms", "samples"]);
+    let mut t = Table::new([
+        "impl",
+        "regime",
+        "p50",
+        "p99",
+        "max",
+        "ops >= 10ms",
+        "samples",
+    ]);
     let mut row = |name: String, regime: &str, h: &LatencyHistogram| {
         t.row([
             name,
@@ -103,7 +111,10 @@ fn main() {
             human_ns(h.quantile_ns(0.5)),
             human_ns(h.quantile_ns(0.99)),
             human_ns(h.max_ns()),
-            format!("{:.0}", h.fraction_at_or_above_ns(10_000_000) * h.count() as f64),
+            format!(
+                "{:.0}",
+                h.fraction_at_or_above_ns(10_000_000) * h.count() as f64
+            ),
             h.count().to_string(),
         ]);
     };

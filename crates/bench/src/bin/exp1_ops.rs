@@ -30,9 +30,12 @@ fn bench_cell<W: DcasWord>(table: &mut Table) {
     let cell = W::new(1);
     table.row([
         format!("cell load ({name})"),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            std::hint::black_box(cell.load());
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                std::hint::black_box(cell.load());
+            })
+        ),
     ]);
     table.row([
         format!("cell store ({name})"),
@@ -40,17 +43,23 @@ fn bench_cell<W: DcasWord>(table: &mut Table) {
     ]);
     table.row([
         format!("cell cas ({name})"),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            std::hint::black_box(cell.compare_and_swap(2, 2));
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                std::hint::black_box(cell.compare_and_swap(2, 2));
+            })
+        ),
     ]);
     let a = W::new(1);
     let b = W::new(2);
     table.row([
         format!("cell dcas ({name})"),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            std::hint::black_box(W::dcas(&a, &b, 1, 2, 1, 2));
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                std::hint::black_box(W::dcas(&a, &b, 1, 2, 1, 2));
+            })
+        ),
     ]);
 }
 
@@ -63,9 +72,12 @@ fn bench_lfrc<W: DcasWord>(table: &mut Table) {
 
     table.row([
         format!("LFRCLoad ({name})"),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            std::hint::black_box(root.load());
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                std::hint::black_box(root.load());
+            })
+        ),
     ]);
     table.row([
         format!("LFRCStore ({name})"),
@@ -73,36 +85,48 @@ fn bench_lfrc<W: DcasWord>(table: &mut Table) {
     ]);
     table.row([
         format!("LFRCCopy+Destroy ({name})"),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            std::hint::black_box(node.clone());
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                std::hint::black_box(node.clone());
+            })
+        ),
     ]);
     table.row([
         format!("LFRCCAS ({name})"),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            std::hint::black_box(root.compare_and_set(Some(&node), Some(&node)));
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                std::hint::black_box(root.compare_and_set(Some(&node), Some(&node)));
+            })
+        ),
     ]);
     let other_root: SharedField<Leaf, W> = SharedField::null();
     other_root.store(Some(&node));
     table.row([
         format!("LFRCDCAS ({name})"),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            std::hint::black_box(PtrField::dcas(
-                &root,
-                &other_root,
-                Some(&node),
-                Some(&node),
-                Some(&node),
-                Some(&node),
-            ));
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                std::hint::black_box(PtrField::dcas(
+                    &root,
+                    &other_root,
+                    Some(&node),
+                    Some(&node),
+                    Some(&node),
+                    Some(&node),
+                ));
+            })
+        ),
     ]);
     table.row([
         format!("alloc+free cycle ({name})"),
-        format!("{:.1}", ns_per_op(ITERS / 10, || {
-            std::hint::black_box(heap.alloc(Leaf { payload: 1 }));
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS / 10, || {
+                std::hint::black_box(heap.alloc(Leaf { payload: 1 }));
+            })
+        ),
     ]);
     root.store(None);
     other_root.store(None);
@@ -116,27 +140,36 @@ fn main() {
     let native = AtomicU64::new(1);
     table.row([
         "native atomic load".to_owned(),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            std::hint::black_box(native.load(Ordering::SeqCst));
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                std::hint::black_box(native.load(Ordering::SeqCst));
+            })
+        ),
     ]);
     table.row([
         "native atomic cas".to_owned(),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            let _ = std::hint::black_box(native.compare_exchange(
-                1,
-                1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ));
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                let _ = std::hint::black_box(native.compare_exchange(
+                    1,
+                    1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ));
+            })
+        ),
     ]);
     let arc = Arc::new(7u64);
     table.row([
         "Arc clone+drop (libstd anchor)".to_owned(),
-        format!("{:.1}", ns_per_op(ITERS, || {
-            std::hint::black_box(Arc::clone(&arc));
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(ITERS, || {
+                std::hint::black_box(Arc::clone(&arc));
+            })
+        ),
     ]);
 
     bench_cell::<McasWord>(&mut table);

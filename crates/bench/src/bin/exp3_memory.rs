@@ -19,7 +19,11 @@ use lfrc_structures::{ConcurrentStack, GcStack, LfrcStack};
 const BURST: u64 = 50_000;
 const CYCLES: usize = 3;
 
-fn phases(mut grow: impl FnMut(u64), mut drain: impl FnMut(), mut sample: impl FnMut() -> u64) -> MemSeries {
+fn phases(
+    mut grow: impl FnMut(u64),
+    mut drain: impl FnMut(),
+    mut sample: impl FnMut() -> u64,
+) -> MemSeries {
     let mut series = MemSeries::new();
     series.sample("start", sample());
     for c in 0..CYCLES {
@@ -34,8 +38,8 @@ fn phases(mut grow: impl FnMut(u64), mut drain: impl FnMut(), mut sample: impl F
 fn main() {
     println!("# E3 — memory footprint across burst/drain cycles (nodes held)\n");
     let mut table = Table::new([
-        "impl", "start", "burst0", "drain0", "burst1", "drain1", "burst2", "drain2", "peak",
-        "end", "shrinks?",
+        "impl", "start", "burst0", "drain0", "burst1", "drain1", "burst2", "drain2", "peak", "end",
+        "shrinks?",
     ]);
     let mut push_row = |name: String, s: &MemSeries| {
         let mut cells = vec![name];

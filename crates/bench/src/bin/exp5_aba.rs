@@ -119,10 +119,24 @@ fn main() {
     let mut t = Table::new(["load protocol", "rc-on-freed events", "nodes freed"]);
     let (c, q) = run(Protocol::LfrcDcas, SWINGS, READERS);
     t.row(["LFRCLoad (DCAS)".to_owned(), c.to_string(), q.to_string()]);
-    let (c, q) = run(Protocol::NaiveCas { widen_window: false }, SWINGS, READERS);
-    t.row(["naive CAS (natural window)".to_owned(), c.to_string(), q.to_string()]);
+    let (c, q) = run(
+        Protocol::NaiveCas {
+            widen_window: false,
+        },
+        SWINGS,
+        READERS,
+    );
+    t.row([
+        "naive CAS (natural window)".to_owned(),
+        c.to_string(),
+        q.to_string(),
+    ]);
     let (c, q) = run(Protocol::NaiveCas { widen_window: true }, SWINGS, READERS);
-    t.row(["naive CAS (widened window)".to_owned(), c.to_string(), q.to_string()]);
+    t.row([
+        "naive CAS (widened window)".to_owned(),
+        c.to_string(),
+        q.to_string(),
+    ]);
     print!("{t}");
     println!(
         "\nexpected shape: LFRCLoad records exactly 0 events in every run;\n\

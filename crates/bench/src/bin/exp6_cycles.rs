@@ -62,7 +62,10 @@ fn main() {
 
     let mut t = Table::new(["variant", "allocs", "frees", "leaked nodes", "leaked bytes"]);
     for (name, census) in [
-        ("snark-lfrc (null sentinels, step 3 applied)", &proper_census),
+        (
+            "snark-lfrc (null sentinels, step 3 applied)",
+            &proper_census,
+        ),
         ("snark-lfrc-selfptr (step 3 SKIPPED)", &leaky_census),
     ] {
         t.row([

@@ -66,35 +66,48 @@ fn main() {
     let native = AtomicU64::new(0);
     t.row([
         "native CAS (the hardware we do have)".to_owned(),
-        format!("{:.1}", ns_per_op(200_000, || {
-            let _ = std::hint::black_box(native.compare_exchange(
-                0,
-                0,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ));
-        })),
+        format!(
+            "{:.1}",
+            ns_per_op(200_000, || {
+                let _ = std::hint::black_box(native.compare_exchange(
+                    0,
+                    0,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ));
+            })
+        ),
     ]);
     {
         let a = McasWord::new(0);
         let b = McasWord::new(1);
         t.row([
             "DCAS, mcas strategy".to_owned(),
-            format!("{:.1}", ns_per_op(100_000, || {
-                std::hint::black_box(McasWord::dcas(&a, &b, 0, 1, 0, 1));
-            })),
+            format!(
+                "{:.1}",
+                ns_per_op(100_000, || {
+                    std::hint::black_box(McasWord::dcas(&a, &b, 0, 1, 0, 1));
+                })
+            ),
         ]);
-        let cells: Vec<McasWord> = (0..8).map(|i| McasWord::new(i)).collect();
+        let cells: Vec<McasWord> = (0..8).map(McasWord::new).collect();
         t.row([
             "8-way MCAS, mcas strategy".to_owned(),
-            format!("{:.1}", ns_per_op(50_000, || {
-                let ops: Vec<lfrc_dcas::McasOp<'_, McasWord>> = cells
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| lfrc_dcas::McasOp { cell: c, old: i as u64, new: i as u64 })
-                    .collect();
-                std::hint::black_box(McasWord::mcas(&ops));
-            })),
+            format!(
+                "{:.1}",
+                ns_per_op(50_000, || {
+                    let ops: Vec<lfrc_dcas::McasOp<'_, McasWord>> = cells
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| lfrc_dcas::McasOp {
+                            cell: c,
+                            old: i as u64,
+                            new: i as u64,
+                        })
+                        .collect();
+                    std::hint::black_box(McasWord::mcas(&ops));
+                })
+            ),
         ]);
     }
     {
@@ -102,9 +115,12 @@ fn main() {
         let b = LockWord::new(1);
         t.row([
             "DCAS, lock-striped strategy".to_owned(),
-            format!("{:.1}", ns_per_op(100_000, || {
-                std::hint::black_box(LockWord::dcas(&a, &b, 0, 1, 0, 1));
-            })),
+            format!(
+                "{:.1}",
+                ns_per_op(100_000, || {
+                    std::hint::black_box(LockWord::dcas(&a, &b, 0, 1, 0, 1));
+                })
+            ),
         ]);
     }
     print!("{t}");

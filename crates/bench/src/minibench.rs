@@ -116,15 +116,16 @@ impl Minibench {
     /// argument is a substring filter on benchmark labels (flags such as
     /// the `--bench` cargo appends are ignored).
     pub fn from_args() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Minibench { filter }
     }
 
     /// Opens a named benchmark group.
     pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
-        Group { bench: self, name: name.into() }
+        Group {
+            bench: self,
+            name: name.into(),
+        }
     }
 
     fn matches(&self, label: &str) -> bool {
@@ -138,7 +139,9 @@ mod tests {
 
     #[test]
     fn groups_time_and_filter() {
-        let mut mb = Minibench { filter: Some("hit".into()) };
+        let mut mb = Minibench {
+            filter: Some("hit".into()),
+        };
         let mut ran_hit = false;
         let mut ran_miss = false;
         {

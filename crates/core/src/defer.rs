@@ -430,7 +430,10 @@ mod tests {
     #[test]
     fn defer_parks_then_flush_releases() {
         let heap = heap();
-        let a = heap.alloc(Node { n: 1, next: PtrField::null() });
+        let a = heap.alloc(Node {
+            n: 1,
+            next: PtrField::null(),
+        });
         flush_thread(); // isolate from other tests on this thread
         let base = pending_decrements();
         defer_destroy(a);
@@ -447,7 +450,10 @@ mod tests {
         let heap = heap();
         flush_thread();
         for _ in 0..FLUSH_THRESHOLD {
-            defer_destroy(heap.alloc(Node { n: 0, next: PtrField::null() }));
+            defer_destroy(heap.alloc(Node {
+                n: 0,
+                next: PtrField::null(),
+            }));
         }
         // The FLUSH_THRESHOLD-th append flushed the whole batch.
         assert_eq!(pending_decrements(), 0);
@@ -459,10 +465,19 @@ mod tests {
         let heap = heap();
         flush_thread();
         // head -> mid -> tail, all held only through head.
-        let tail = heap.alloc(Node { n: 3, next: PtrField::null() });
-        let mid = heap.alloc(Node { n: 2, next: PtrField::null() });
+        let tail = heap.alloc(Node {
+            n: 3,
+            next: PtrField::null(),
+        });
+        let mid = heap.alloc(Node {
+            n: 2,
+            next: PtrField::null(),
+        });
         mid.next.store_consume(tail);
-        let head = heap.alloc(Node { n: 1, next: PtrField::null() });
+        let head = heap.alloc(Node {
+            n: 1,
+            next: PtrField::null(),
+        });
         head.next.store_consume(mid);
         defer_destroy(head);
         assert_eq!(heap.census().live(), 3);
@@ -474,7 +489,10 @@ mod tests {
     fn borrow_reads_without_count_traffic() {
         let heap = heap();
         let root: SharedField<Node, McasWord> = SharedField::null();
-        let a = heap.alloc(Node { n: 7, next: PtrField::null() });
+        let a = heap.alloc(Node {
+            n: 7,
+            next: PtrField::null(),
+        });
         root.store(Some(&a));
         pinned(|pin| {
             let b = root.load_deferred(pin).expect("stored");
@@ -493,7 +511,10 @@ mod tests {
     fn promote_takes_a_real_count() {
         let heap = heap();
         let root: SharedField<Node, McasWord> = SharedField::null();
-        let a = heap.alloc(Node { n: 9, next: PtrField::null() });
+        let a = heap.alloc(Node {
+            n: 9,
+            next: PtrField::null(),
+        });
         root.store(Some(&a));
         drop(a);
         let l = pinned(|pin| {
@@ -510,7 +531,10 @@ mod tests {
     #[test]
     fn promote_refuses_dead_objects() {
         let heap = heap();
-        let a = heap.alloc(Node { n: 1, next: PtrField::null() });
+        let a = heap.alloc(Node {
+            n: 1,
+            next: PtrField::null(),
+        });
         pinned(|pin| {
             let b = Local::borrow(&a, pin);
             // Drop the only count while the borrow is live: logically
@@ -527,8 +551,14 @@ mod tests {
     #[test]
     fn borrowed_links_null_after_harvest_and_rc_validates() {
         let heap = heap();
-        let inner = heap.alloc(Node { n: 2, next: PtrField::null() });
-        let outer = heap.alloc(Node { n: 1, next: PtrField::null() });
+        let inner = heap.alloc(Node {
+            n: 2,
+            next: PtrField::null(),
+        });
+        let outer = heap.alloc(Node {
+            n: 1,
+            next: PtrField::null(),
+        });
         outer.next.store(Some(&inner));
         pinned(|pin| {
             let b = Local::borrow(&outer, pin);
@@ -550,7 +580,10 @@ mod tls_exit_tests {
     use crate::object::{Heap, PtrField};
     use lfrc_dcas::McasWord;
 
-    struct Leaf { #[allow(dead_code)] n: u64 }
+    struct Leaf {
+        #[allow(dead_code)]
+        n: u64,
+    }
     impl Links<McasWord> for Leaf {
         fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, McasWord>)) {}
     }
@@ -577,4 +610,3 @@ mod tls_exit_tests {
         assert_eq!(census.live(), 0, "exit flush did not run");
     }
 }
-

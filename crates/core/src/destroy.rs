@@ -285,9 +285,15 @@ mod tests {
     }
 
     fn chain(heap: &Heap<Node, McasWord>, len: u64) -> crate::Local<Node, McasWord> {
-        let mut head = heap.alloc(Node { id: 0, next: PtrField::null() });
+        let mut head = heap.alloc(Node {
+            id: 0,
+            next: PtrField::null(),
+        });
         for id in 1..len {
-            let n = heap.alloc(Node { id, next: PtrField::null() });
+            let n = heap.alloc(Node {
+                id,
+                next: PtrField::null(),
+            });
             n.next.store_consume(head);
             head = n;
         }
@@ -327,7 +333,10 @@ mod tests {
         // A node still referenced elsewhere must not be parked.
         let heap: Heap<Node, McasWord> = Heap::new();
         let backlog: Backlog<Node, McasWord> = Backlog::new();
-        let a = heap.alloc(Node { id: 1, next: PtrField::null() });
+        let a = heap.alloc(Node {
+            id: 1,
+            next: PtrField::null(),
+        });
         let b = a.clone();
         backlog.destroy_deferred(a); // rc 2 -> 1: not parked
         assert!(backlog.is_empty());

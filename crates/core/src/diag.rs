@@ -175,7 +175,10 @@ impl Census {
     /// `free(data)` must be safe to call exactly once at drain time, when
     /// no thread holds a pointer into the allocation.
     pub(crate) unsafe fn quarantine_push_with(&self, data: *mut (), free: unsafe fn(*mut ())) {
-        self.quarantine.lock().unwrap().push(Quarantined { data, free });
+        self.quarantine
+            .lock()
+            .unwrap()
+            .push(Quarantined { data, free });
     }
 
     /// Releases all quarantined allocations.

@@ -247,7 +247,6 @@ mod tests {
             let mut handles = Vec::new();
             for t in 0..THREADS {
                 let (heap, root, barrier) = (&heap, &root, &barrier);
-                let link = link;
                 handles.push(s.spawn(move || {
                     let mine = heap.alloc(Leaf { n: t as u64 });
                     barrier.wait();
@@ -262,7 +261,11 @@ mod tests {
         });
         assert_eq!(wins, 1, "exactly one SC may win a shared link");
         root.store(None);
-        assert_eq!(heap.census().live(), 0, "losers must compensate their counts");
+        assert_eq!(
+            heap.census().live(),
+            0,
+            "losers must compensate their counts"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use lfrc_dcas::{DcasWord, MAX_PAYLOAD};
+use lfrc_obs::instrument;
 
 use crate::defer::Borrowed;
 use crate::diag::{Census, CANARY_ALIVE, CANARY_FREED};
@@ -256,7 +257,11 @@ impl<T: Links<W>, W: DcasWord> PtrField<T, W> {
     /// `LFRCCAS`: atomically replaces `expected` with `new`.
     ///
     /// Identity is pointer equality. Returns `true` on success.
-    pub fn compare_and_set(&self, expected: Option<&Local<T, W>>, new: Option<&Local<T, W>>) -> bool {
+    pub fn compare_and_set(
+        &self,
+        expected: Option<&Local<T, W>>,
+        new: Option<&Local<T, W>>,
+    ) -> bool {
         // Safety: both are live counted references (or null).
         unsafe {
             crate::ops::cas(
@@ -325,7 +330,9 @@ pub struct Heap<T: Links<W>, W: DcasWord> {
 
 impl<T: Links<W>, W: DcasWord> fmt::Debug for Heap<T, W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Heap").field("census", &self.census).finish()
+        f.debug_struct("Heap")
+            .field("census", &self.census)
+            .finish()
     }
 }
 
@@ -386,23 +393,45 @@ impl<T: Links<W>, W: DcasWord> Heap<T, W> {
     /// Allocates a new object with reference count 1 (paper step 1: "this
     /// field should be set to 1 in a newly-created object"), returning the
     /// counted local reference that the count covers.
+    ///
+    /// Infallible from the caller's perspective: a pool refusal falls
+    /// back to the global allocator, and a global-allocator refusal
+    /// (only reachable under injected faults — a real OOM aborts inside
+    /// `Box::new`) panics. Error-propagating callers use
+    /// [`Heap::try_alloc`].
     pub fn alloc(&self, value: T) -> Local<T, W> {
+        self.try_alloc(value)
+            .unwrap_or_else(|_| panic!("lfrc heap allocation failed (injected fault)"))
+    }
+
+    /// Fallible [`Heap::alloc`]: returns the value back as `Err` when the
+    /// allocation cannot be satisfied.
+    ///
+    /// The pooled backend degrades before failing — a refused pool slot
+    /// falls back to the global allocator, and only a refused global
+    /// allocation is an error. Without the `inject` feature the global
+    /// allocator never refuses (real exhaustion aborts the process, as
+    /// with `Box::new`), so `Err` is unreachable in production builds.
+    pub fn try_alloc(&self, value: T) -> Result<Local<T, W>, T> {
         let raw = match self.backend {
             Backend::Pooled => match self.alloc_pooled(value) {
                 Ok(raw) => raw,
-                Err(value) => self.alloc_global(value),
+                Err(value) => self.try_alloc_global(value)?,
             },
-            Backend::Global => self.alloc_global(value),
+            Backend::Global => self.try_alloc_global(value)?,
         };
         self.census.note_alloc(std::mem::size_of::<LfrcBox<T, W>>());
         lfrc_obs::recorder::record(lfrc_obs::EventKind::Alloc, raw as usize, 1);
         // Safety: fresh allocation, count 1, owned by the returned Local.
-        unsafe { Local::from_counted_raw(raw).expect("fresh allocation is non-null") }
+        Ok(unsafe { Local::from_counted_raw(raw).expect("fresh allocation is non-null") })
     }
 
     /// Tries to place `value` in a pool slot; hands the value back when
-    /// the pool declines the layout.
+    /// the pool declines the layout (or an injected fault refuses it).
     fn alloc_pooled(&self, value: T) -> Result<*mut LfrcBox<T, W>, T> {
+        if !instrument::alloc_allowed(instrument::AllocSite::HeapPooled) {
+            return Err(value);
+        }
         let layout = std::alloc::Layout::new::<LfrcBox<T, W>>();
         let Some(slot) = lfrc_pool::alloc(layout) else {
             return Err(value);
@@ -421,6 +450,13 @@ impl<T: Links<W>, W: DcasWord> Heap<T, W> {
             });
         }
         Ok(raw)
+    }
+
+    fn try_alloc_global(&self, value: T) -> Result<*mut LfrcBox<T, W>, T> {
+        if !instrument::alloc_allowed(instrument::AllocSite::HeapGlobal) {
+            return Err(value);
+        }
+        Ok(self.alloc_global(value))
     }
 
     fn alloc_global(&self, value: T) -> *mut LfrcBox<T, W> {
@@ -525,7 +561,12 @@ mod tests {
             let heap: Heap<Node, McasWord> = Heap::with_backend(backend);
             assert_eq!(heap.backend(), backend);
             let nodes: Vec<_> = (0..100)
-                .map(|id| heap.alloc(Node { id, next: PtrField::null() }))
+                .map(|id| {
+                    heap.alloc(Node {
+                        id,
+                        next: PtrField::null(),
+                    })
+                })
                 .collect();
             assert_eq!(heap.census().live(), 100, "{backend:?}");
             drop(nodes);
@@ -540,12 +581,18 @@ mod tests {
         // crate's tests, so the default heap must place nodes in slabs.
         assert!(lfrc_pool::enabled());
         let heap: Heap<Node, McasWord> = Heap::new();
-        let n = heap.alloc(Node { id: 0, next: PtrField::null() });
+        let n = heap.alloc(Node {
+            id: 0,
+            next: PtrField::null(),
+        });
         let raw = Local::option_as_ptr(Some(&n));
         assert!(unsafe { (*raw).pooled });
         // And the explicit global backend must not.
         let global: Heap<Node, McasWord> = Heap::with_backend(Backend::Global);
-        let g = global.alloc(Node { id: 1, next: PtrField::null() });
+        let g = global.alloc(Node {
+            id: 1,
+            next: PtrField::null(),
+        });
         assert!(!unsafe { (*Local::option_as_ptr(Some(&g))).pooled });
     }
 
@@ -553,13 +600,19 @@ mod tests {
     fn pooled_nodes_round_trip_through_quarantine() {
         let heap: Heap<Node, McasWord> = Heap::new();
         heap.census().set_quarantine(true);
-        let n = heap.alloc(Node { id: 7, next: PtrField::null() });
+        let n = heap.alloc(Node {
+            id: 7,
+            next: PtrField::null(),
+        });
         let pooled = unsafe { (*Local::option_as_ptr(Some(&n))).pooled };
         drop(n);
         assert_eq!(heap.census().quarantined(), 1);
         // Safety: fully quiesced — no other thread touches this heap.
         assert_eq!(unsafe { heap.census().drain_quarantine() }, 1);
         assert_eq!(heap.census().live(), 0);
-        assert!(pooled, "quarantine test should exercise the pooled release path");
+        assert!(
+            pooled,
+            "quarantine test should exercise the pooled release path"
+        );
     }
 }

@@ -80,10 +80,7 @@ pub unsafe fn add_to_rc<T: Links<W>, W: DcasWord>(p: *mut LfrcBox<T, W>, v: i64)
 /// * `*dest` must be null or a counted reference owned by the caller.
 /// * On return, `*dest` is a counted reference (or null) owned by the
 ///   caller.
-pub unsafe fn load<T: Links<W>, W: DcasWord>(
-    a: &PtrField<T, W>,
-    dest: &mut *mut LfrcBox<T, W>,
-) {
+pub unsafe fn load<T: Links<W>, W: DcasWord>(a: &PtrField<T, W>, dest: &mut *mut LfrcBox<T, W>) {
     let olddest = *dest; // line 1
     loop {
         // The emulation guard spans the pointer read, the count read, and
@@ -102,17 +99,13 @@ pub unsafe fn load<T: Links<W>, W: DcasWord>(
             // guard keeps the memory mapped since.
             let obj = unsafe { &*word_to_ptr::<T, W>(aval) };
             let r = obj.rc.load(); // line 8
-            // The window between reading the count and the DCAS is where
-            // a CAS-only protocol breaks (§1) — the prime target for
-            // schedule exploration.
+                                   // The window between reading the count and the DCAS is where
+                                   // a CAS-only protocol breaks (§1) — the prime target for
+                                   // schedule exploration.
             lfrc_dcas::instrument::yield_point(lfrc_dcas::InstrSite::LoadDcasWindow);
             // Line 9: increment the count *iff* the pointer still exists.
             if W::dcas(a.raw(), &obj.rc, aval, r, aval, r + 1) {
-                lfrc_obs::recorder::record(
-                    lfrc_obs::EventKind::LoadAcquire,
-                    aval as usize,
-                    r + 1,
-                );
+                lfrc_obs::recorder::record(lfrc_obs::EventKind::LoadAcquire, aval as usize, r + 1);
                 *dest = word_to_ptr(aval); // line 10
                 true
             } else {
@@ -147,9 +140,7 @@ pub unsafe fn load<T: Links<W>, W: DcasWord>(
 ///   be *logically* freed at any time — dereference only immutable
 ///   payload, and validate via its reference count before trusting link
 ///   reads (see `crate::defer`).
-pub unsafe fn load_deferred<T: Links<W>, W: DcasWord>(
-    a: &PtrField<T, W>,
-) -> *mut LfrcBox<T, W> {
+pub unsafe fn load_deferred<T: Links<W>, W: DcasWord>(a: &PtrField<T, W>) -> *mut LfrcBox<T, W> {
     // An uncounted read racing destroys by design — let the scheduler
     // interleave here.
     lfrc_dcas::instrument::yield_point(lfrc_dcas::InstrSite::BorrowLoad);
@@ -212,17 +203,14 @@ unsafe fn store_precounted<T: Links<W>, W: DcasWord>(a: &PtrField<T, W>, v: *mut
 ///
 /// `w` must be null or a counted reference owned by the caller; `*v` must
 /// be null or a counted reference owned by the caller (it is destroyed).
-pub unsafe fn copy<T: Links<W>, W: DcasWord>(
-    v: &mut *mut LfrcBox<T, W>,
-    w: *mut LfrcBox<T, W>,
-) {
+pub unsafe fn copy<T: Links<W>, W: DcasWord>(v: &mut *mut LfrcBox<T, W>, w: *mut LfrcBox<T, W>) {
     if !w.is_null() {
         // Safety: caller holds `w` counted.
         unsafe { add_to_rc(w, 1) }; // lines 29–30
     }
     let old = *v;
     *v = w; // line 32
-    // Safety: `old` was caller-owned.
+            // Safety: `old` was caller-owned.
     unsafe { destroy(old) }; // line 31
 }
 
@@ -249,7 +237,10 @@ pub unsafe fn cas<T: Links<W>, W: DcasWord>(
         // Safety: caller holds `new0` counted.
         unsafe { add_to_rc(new0, 1) };
     }
-    if a0.raw().compare_and_swap(ptr_to_word(old0), ptr_to_word(new0)) {
+    if a0
+        .raw()
+        .compare_and_swap(ptr_to_word(old0), ptr_to_word(new0))
+    {
         // Safety: success transferred the location's old reference to us.
         unsafe { destroy(old0) };
         true
@@ -285,7 +276,10 @@ pub unsafe fn cas_deferred<T: Links<W>, W: DcasWord>(
         // Safety: caller holds `new0` counted.
         unsafe { add_to_rc(new0, 1) };
     }
-    if a0.raw().compare_and_swap(ptr_to_word(old0), ptr_to_word(new0)) {
+    if a0
+        .raw()
+        .compare_and_swap(ptr_to_word(old0), ptr_to_word(new0))
+    {
         // Safety: success transferred the location's old reference to us;
         // the buffer takes ownership of that count unit.
         unsafe { crate::defer::defer_destroy_raw(old0) };

@@ -163,7 +163,10 @@ mod tests {
             next: PtrField::null(),
         });
         assert!(root.compare_and_set(None, Some(&a)));
-        assert!(!root.compare_and_set(None, Some(&b)), "expected-null must fail");
+        assert!(
+            !root.compare_and_set(None, Some(&b)),
+            "expected-null must fail"
+        );
         assert!(root.compare_and_set(Some(&a), Some(&b)));
         let got = root.load().unwrap();
         assert!(Local::ptr_eq(&got, &b));
@@ -199,14 +202,7 @@ mod tests {
         assert!(Local::ptr_eq(&r0.load().unwrap(), &b));
         assert!(Local::ptr_eq(&r1.load().unwrap(), &a));
         // Stale expectations: must fail and change nothing.
-        assert!(!PtrField::dcas(
-            &r0,
-            &r1,
-            Some(&a),
-            Some(&b),
-            None,
-            None,
-        ));
+        assert!(!PtrField::dcas(&r0, &r1, Some(&a), Some(&b), None, None,));
         assert!(Local::ptr_eq(&r0.load().unwrap(), &b));
         drop((a, b));
         r0.store(None);

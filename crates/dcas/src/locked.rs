@@ -67,10 +67,7 @@ impl Stripe {
     }
 }
 
-static TABLE: [CachePadded<Stripe>; STRIPES] = {
-    const S: CachePadded<Stripe> = CachePadded::new(Stripe::new());
-    [S; STRIPES]
-};
+static TABLE: [CachePadded<Stripe>; STRIPES] = [const { CachePadded::new(Stripe::new()) }; STRIPES];
 
 /// Maps a cell address to its stripe index (Fibonacci hashing on the
 /// address, so nearby cells usually take different stripes).
@@ -123,7 +120,9 @@ pub struct LockWord {
 
 impl fmt::Debug for LockWord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LockWord").field("value", &self.load()).finish()
+        f.debug_struct("LockWord")
+            .field("value", &self.load())
+            .finish()
     }
 }
 
@@ -269,9 +268,21 @@ mod tests {
     fn mcas_rollback_on_partial_match() {
         let cells: Vec<LockWord> = (0..3).map(|_| LockWord::new(1)).collect();
         assert!(!LockWord::mcas(&[
-            McasOp { cell: &cells[0], old: 1, new: 2 },
-            McasOp { cell: &cells[1], old: 0, new: 2 },
-            McasOp { cell: &cells[2], old: 1, new: 2 },
+            McasOp {
+                cell: &cells[0],
+                old: 1,
+                new: 2
+            },
+            McasOp {
+                cell: &cells[1],
+                old: 0,
+                new: 2
+            },
+            McasOp {
+                cell: &cells[2],
+                old: 1,
+                new: 2
+            },
         ]));
         for c in &cells {
             assert_eq!(c.load(), 1);

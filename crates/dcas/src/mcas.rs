@@ -77,17 +77,27 @@ const INLINE_ENTRIES: usize = 4;
 /// A fixed inline buffer with a `Vec` spill for arities above
 /// [`INLINE_ENTRIES`].
 enum Entries {
-    Inline { buf: [Entry; INLINE_ENTRIES], len: u8 },
+    Inline {
+        buf: [Entry; INLINE_ENTRIES],
+        len: u8,
+    },
     Spill(Vec<Entry>),
 }
 
 impl Entries {
     fn from_sorted(sorted: &[Entry]) -> Self {
         if sorted.len() <= INLINE_ENTRIES {
-            let mut buf = [Entry { cell: std::ptr::null(), order: 0, old: 0, new: 0 };
-                INLINE_ENTRIES];
+            let mut buf = [Entry {
+                cell: std::ptr::null(),
+                order: 0,
+                old: 0,
+                new: 0,
+            }; INLINE_ENTRIES];
             buf[..sorted.len()].copy_from_slice(sorted);
-            Entries::Inline { buf, len: sorted.len() as u8 }
+            Entries::Inline {
+                buf,
+                len: sorted.len() as u8,
+            }
         } else {
             Entries::Spill(sorted.to_vec())
         }
@@ -134,7 +144,16 @@ unsafe impl Sync for RdcssDescriptor {}
 /// records which allocator owns the memory; pass it back to
 /// [`desc_retire`].
 fn desc_alloc<T>(value: T) -> (*mut T, bool) {
-    if let Some(raw) = lfrc_pool::alloc(std::alloc::Layout::new::<T>()) {
+    // A thread killed at this yield point has published nothing yet; one
+    // killed later (after install) leaves a descriptor that only helping
+    // resolves. Fault plans also refuse the pool here to force the Box
+    // fallback mid-schedule.
+    yield_point(InstrSite::DescAlloc);
+    let pool_ok = crate::instrument::alloc_allowed(crate::instrument::AllocSite::DescPool);
+    if let Some(raw) = pool_ok
+        .then(|| lfrc_pool::alloc(std::alloc::Layout::new::<T>()))
+        .flatten()
+    {
         let ptr = raw.as_ptr() as *mut T;
         // Safety: a fresh pool slot of the requested layout.
         unsafe { ptr.write(value) };
@@ -292,9 +311,9 @@ fn mcas_help(guard: &lfrc_reclaim::epoch::Guard<'_>, tagged: u64) -> bool {
         // Phase 1 is done but the operation is still undecided — the
         // status CAS below is the linearization point.
         yield_point(InstrSite::McasBeforeStatusCas);
-        let _ = desc
-            .status
-            .compare_exchange(UNDECIDED, outcome, Ordering::SeqCst, Ordering::SeqCst);
+        let _ =
+            desc.status
+                .compare_exchange(UNDECIDED, outcome, Ordering::SeqCst, Ordering::SeqCst);
     }
     // Phase 2: unlink the descriptor from every cell.
     let succeeded = desc.status.load(Ordering::SeqCst) == SUCCEEDED;
@@ -352,7 +371,9 @@ static NEXT_CELL_ORDER: AtomicU64 = AtomicU64::new(0);
 
 impl fmt::Debug for McasWord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("McasWord").field("value", &self.load()).finish()
+        f.debug_struct("McasWord")
+            .field("value", &self.load())
+            .finish()
     }
 }
 
@@ -409,8 +430,12 @@ impl DcasWord for McasWord {
         };
         // Stage the entries on the stack when they fit inline, so the
         // descriptor itself is the attempt's only allocation.
-        let mut inline =
-            [Entry { cell: std::ptr::null(), order: 0, old: 0, new: 0 }; INLINE_ENTRIES];
+        let mut inline = [Entry {
+            cell: std::ptr::null(),
+            order: 0,
+            old: 0,
+            new: 0,
+        }; INLINE_ENTRIES];
         let mut spill = Vec::new();
         let entries: &mut [Entry] = if ops.len() <= INLINE_ENTRIES {
             for (slot, op) in inline.iter_mut().zip(ops) {
@@ -464,11 +489,23 @@ mod tests {
 
     #[test]
     fn mcas_three_way_rotate() {
-        let cells: Vec<McasWord> = (0..3).map(|i| McasWord::new(i)).collect();
+        let cells: Vec<McasWord> = (0..3).map(McasWord::new).collect();
         let ok = McasWord::mcas(&[
-            McasOp { cell: &cells[0], old: 0, new: 1 },
-            McasOp { cell: &cells[1], old: 1, new: 2 },
-            McasOp { cell: &cells[2], old: 2, new: 0 },
+            McasOp {
+                cell: &cells[0],
+                old: 0,
+                new: 1,
+            },
+            McasOp {
+                cell: &cells[1],
+                old: 1,
+                new: 2,
+            },
+            McasOp {
+                cell: &cells[2],
+                old: 2,
+                new: 0,
+            },
         ]);
         assert!(ok);
         assert_eq!(cells[0].load(), 1);
@@ -480,10 +517,26 @@ mod tests {
     fn mcas_all_or_nothing() {
         let cells: Vec<McasWord> = (0..4).map(|_| McasWord::new(5)).collect();
         let ok = McasWord::mcas(&[
-            McasOp { cell: &cells[0], old: 5, new: 6 },
-            McasOp { cell: &cells[1], old: 5, new: 6 },
-            McasOp { cell: &cells[2], old: 999, new: 6 }, // mismatch
-            McasOp { cell: &cells[3], old: 5, new: 6 },
+            McasOp {
+                cell: &cells[0],
+                old: 5,
+                new: 6,
+            },
+            McasOp {
+                cell: &cells[1],
+                old: 5,
+                new: 6,
+            },
+            McasOp {
+                cell: &cells[2],
+                old: 999,
+                new: 6,
+            }, // mismatch
+            McasOp {
+                cell: &cells[3],
+                old: 5,
+                new: 6,
+            },
         ]);
         assert!(!ok);
         for c in &cells {
@@ -635,9 +688,21 @@ mod tests {
                         }
                         let (vi, vj, vk) = (cells[i].load(), cells[j].load(), cells[k].load());
                         if McasWord::mcas(&[
-                            McasOp { cell: &cells[i], old: vi, new: vk },
-                            McasOp { cell: &cells[j], old: vj, new: vi },
-                            McasOp { cell: &cells[k], old: vk, new: vj },
+                            McasOp {
+                                cell: &cells[i],
+                                old: vi,
+                                new: vk,
+                            },
+                            McasOp {
+                                cell: &cells[j],
+                                old: vj,
+                                new: vi,
+                            },
+                            McasOp {
+                                cell: &cells[k],
+                                old: vk,
+                                new: vj,
+                            },
                         ]) {
                             done += 1;
                         }

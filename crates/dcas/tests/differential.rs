@@ -90,9 +90,21 @@ fn apply<W: DcasWord>(cells: &[W], op: &Op) -> u64 {
             }
             let (ci, cj, ck) = (cells[i].load(), cells[j].load(), cells[k].load());
             W::mcas(&[
-                McasOp { cell: &cells[i], old: ci, new: v },
-                McasOp { cell: &cells[j], old: cj, new: ci },
-                McasOp { cell: &cells[k], old: ck, new: cj },
+                McasOp {
+                    cell: &cells[i],
+                    old: ci,
+                    new: v,
+                },
+                McasOp {
+                    cell: &cells[j],
+                    old: cj,
+                    new: ci,
+                },
+                McasOp {
+                    cell: &cells[k],
+                    old: ck,
+                    new: cj,
+                },
             ]) as u64
         }
     }
@@ -236,9 +248,7 @@ fn conservation_stress<W: DcasWord>() {
                     }
                     let (vi, vj) = (cells[i].load(), cells[j].load());
                     let amt = x % 5;
-                    if vi >= amt
-                        && W::dcas(&cells[i], &cells[j], vi, vj, vi - amt, vj + amt)
-                    {
+                    if vi >= amt && W::dcas(&cells[i], &cells[j], vi, vj, vi - amt, vj + amt) {
                         done += 1;
                     }
                 }
@@ -246,7 +256,12 @@ fn conservation_stress<W: DcasWord>() {
         }
     });
     let total: u64 = cells.iter().map(|c| c.load()).sum();
-    assert_eq!(total, expected, "{} lost or minted value", W::strategy_name());
+    assert_eq!(
+        total,
+        expected,
+        "{} lost or minted value",
+        W::strategy_name()
+    );
 }
 
 #[test]

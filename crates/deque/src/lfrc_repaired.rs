@@ -72,7 +72,10 @@ impl<W: DcasWord, P: PausePolicy> LfrcSnarkRepaired<W, P> {
     }
 
     fn dummy(&self) -> Local<SNode<W>, W> {
-        self.inner.dummy.load().expect("dummy is never null while alive")
+        self.inner
+            .dummy
+            .load()
+            .expect("dummy is never null while alive")
     }
 
     /// Attempts to claim `node`'s value; `None` means another pop got it.
@@ -289,7 +292,11 @@ mod tests {
                     b.wait();
                     let mut idle = 0u32;
                     while popped.load(Ordering::Relaxed) < ITEMS && idle < 5_000_000 {
-                        let v = if side == 0 { dq.pop_left() } else { dq.pop_right() };
+                        let v = if side == 0 {
+                            dq.pop_left()
+                        } else {
+                            dq.pop_right()
+                        };
                         if let Some(v) = v {
                             popped.fetch_add(1, Ordering::Relaxed);
                             sum.fetch_add(v, Ordering::Relaxed);
@@ -305,7 +312,11 @@ mod tests {
             popped.fetch_add(1, Ordering::Relaxed);
             sum.fetch_add(v, Ordering::Relaxed);
         }
-        assert_eq!(popped.load(Ordering::Relaxed), ITEMS, "lost or duplicated items");
+        assert_eq!(
+            popped.load(Ordering::Relaxed),
+            ITEMS,
+            "lost or duplicated items"
+        );
         assert_eq!(sum.load(Ordering::Relaxed), ITEMS * (ITEMS + 1) / 2);
     }
 

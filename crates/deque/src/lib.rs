@@ -178,7 +178,7 @@ pub(crate) mod exercise {
                     barrier.wait();
                     for i in 0..per_thread {
                         let v = t as u64 * per_thread + i + 1;
-                        if v % 2 == 0 {
+                        if v.is_multiple_of(2) {
                             d.push_left(v);
                         } else {
                             d.push_right(v);
@@ -194,7 +194,11 @@ pub(crate) mod exercise {
                     let mut got = 0;
                     let mut empties = 0u32;
                     while got < per_thread && empties < 1_000_000 {
-                        let v = if t % 2 == 0 { d.pop_left() } else { d.pop_right() };
+                        let v = if t % 2 == 0 {
+                            d.pop_left()
+                        } else {
+                            d.pop_right()
+                        };
                         match v {
                             Some(v) => {
                                 sum.fetch_add(v, Ordering::Relaxed);
@@ -223,7 +227,15 @@ pub(crate) mod exercise {
         }
         let n = threads as u64 * per_thread;
         let expected_sum = n * (n + 1) / 2;
-        assert_eq!(popped_count.load(Ordering::Relaxed), n, "lost or duplicated items");
-        assert_eq!(popped_sum.load(Ordering::Relaxed), expected_sum, "value multiset corrupted");
+        assert_eq!(
+            popped_count.load(Ordering::Relaxed),
+            n,
+            "lost or duplicated items"
+        );
+        assert_eq!(
+            popped_sum.load(Ordering::Relaxed),
+            expected_sum,
+            "value multiset corrupted"
+        );
     }
 }

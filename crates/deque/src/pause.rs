@@ -42,8 +42,11 @@ impl PausePolicy for NoPause {
     fn pause(_site: PauseSite) {}
 }
 
+/// A per-thread pause hook, as installed by [`HookPause::set_thread_hook`].
+pub type PauseHook = Box<dyn FnMut(PauseSite)>;
+
 thread_local! {
-    static HOOK: RefCell<Option<Box<dyn FnMut(PauseSite)>>> = const { RefCell::new(None) };
+    static HOOK: RefCell<Option<PauseHook>> = const { RefCell::new(None) };
 }
 
 /// A policy that calls the current thread's installed hook (if any).
@@ -66,7 +69,7 @@ pub struct HookPause;
 
 impl HookPause {
     /// Installs (or clears) the pause hook for the calling thread.
-    pub fn set_thread_hook(hook: Option<Box<dyn FnMut(PauseSite)>>) {
+    pub fn set_thread_hook(hook: Option<PauseHook>) {
         HOOK.with(|h| *h.borrow_mut() = hook);
     }
 }

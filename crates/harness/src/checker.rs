@@ -23,7 +23,8 @@ impl MultisetDigest {
     fn add(&self, v: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
-        self.xor.fetch_xor(v.wrapping_mul(0x9e3779b97f4a7c15) | 1, Ordering::Relaxed);
+        self.xor
+            .fetch_xor(v.wrapping_mul(0x9e3779b97f4a7c15) | 1, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> (u64, u64, u64) {

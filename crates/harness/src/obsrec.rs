@@ -129,7 +129,13 @@ impl PhaseRecorder {
         let sanitized: String = self
             .experiment
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("{sanitized}.json"));
         let mut f = std::fs::File::create(&path)?;

@@ -115,7 +115,7 @@ where
                 let mut done = 0u64;
                 let mut i = 0u64;
                 loop {
-                    if i % 32 == 0 && begin.elapsed() >= duration {
+                    if i.is_multiple_of(32) && begin.elapsed() >= duration {
                         break;
                     }
                     if body(t, i) {

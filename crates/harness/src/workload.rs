@@ -29,6 +29,7 @@ impl SplitMix64 {
     }
 
     /// Next raw 64-bit value.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, never None
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
         let mut z = self.state;

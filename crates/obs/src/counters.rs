@@ -318,7 +318,12 @@ mod imp {
             // Single-writer shard: a relaxed load+store increments without
             // the RMW lock prefix. Aggregators only load, and claim
             // handoff (Release vacate / Acquire re-claim) orders writers.
-            |cell| cell.store(cell.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed),
+            |cell| {
+                cell.store(
+                    cell.load(Ordering::Relaxed).wrapping_add(n),
+                    Ordering::Relaxed,
+                )
+            },
             // Exit shard is shared by concurrently-dying threads: RMW.
             |cell| {
                 cell.fetch_add(n, Ordering::Relaxed);

@@ -58,7 +58,11 @@ impl Snapshot {
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(COUNTER_COUNT * 64);
         for c in Counter::ALL {
-            let kind = if c.is_high_water() { "gauge" } else { "counter" };
+            let kind = if c.is_high_water() {
+                "gauge"
+            } else {
+                "counter"
+            };
             out.push_str(&format!(
                 "# TYPE lfrc_{name} {kind}\nlfrc_{name} {val}\n",
                 name = c.name(),

@@ -92,6 +92,11 @@ pub enum InstrSite {
     /// physical deallocation has not yet been epoch-deferred — the window
     /// the one-epoch retirement lag exists to protect.
     PoolSlabRetire,
+    /// MCAS/RDCSS: a descriptor is about to be allocated (pool or Box
+    /// fallback). A thread that dies here has published nothing; a thread
+    /// that dies just *after* leaves a descriptor only helping can
+    /// resolve — both halves of the paper's "failed thread" story.
+    DescAlloc,
 }
 
 impl InstrSite {
@@ -115,6 +120,7 @@ impl InstrSite {
             InstrSite::PoolMagazineHit => 15,
             InstrSite::PoolRemoteFree => 16,
             InstrSite::PoolSlabRetire => 17,
+            InstrSite::DescAlloc => 18,
         }
     }
 
@@ -138,8 +144,32 @@ impl InstrSite {
             InstrSite::PoolMagazineHit => "pool-magazine-hit",
             InstrSite::PoolRemoteFree => "pool-remote-free",
             InstrSite::PoolSlabRetire => "pool-slab-retire",
+            InstrSite::DescAlloc => "desc-alloc",
         }
     }
+
+    /// Every instrumented site, in tag order. Fault-injection sweeps
+    /// iterate this to prove each site is actually reachable.
+    pub const ALL: [InstrSite; 18] = [
+        InstrSite::LoadDcasWindow,
+        InstrSite::DestroyDecrement,
+        InstrSite::RdcssInstalled,
+        InstrSite::McasBeforeStatusCas,
+        InstrSite::LockSpin,
+        InstrSite::DequePushBeforeDcas,
+        InstrSite::DequePopAfterReadHats,
+        InstrSite::DequePopBeforeDcas,
+        InstrSite::DequePopBeforeClaim,
+        InstrSite::DeferAppend,
+        InstrSite::DeferFlush,
+        InstrSite::DeferEpochAdvance,
+        InstrSite::BorrowLoad,
+        InstrSite::BorrowPromote,
+        InstrSite::PoolMagazineHit,
+        InstrSite::PoolRemoteFree,
+        InstrSite::PoolSlabRetire,
+        InstrSite::DescAlloc,
+    ];
 
     /// Whether this site fires from inside the slab pool.
     ///
@@ -194,6 +224,117 @@ pub fn hook_installed() -> bool {
     HOOK.with(|h| h.borrow().is_some())
 }
 
+// ---------------------------------------------------------------------------
+// Allocation-fault injection
+// ---------------------------------------------------------------------------
+
+/// An allocation decision point — somewhere the runtime asks for memory
+/// and has a defined story for being told "no".
+///
+/// These are deliberately distinct from [`InstrSite`]: a yield site is a
+/// place a thread may be *preempted* (or killed); an alloc site is a
+/// place an allocation may be *refused*. The two compose — a schedule can
+/// preempt at a yield site and refuse the very next allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AllocSite {
+    /// `Heap::alloc_pooled` asking the slab pool for an `LfrcBox` slot.
+    /// Refusal exercises the documented pooled→global fallback.
+    HeapPooled,
+    /// The global-allocator fallback for an `LfrcBox`. Refusal surfaces
+    /// as a clean `Err` from the fallible `Heap::try_alloc` path (the
+    /// infallible `Heap::alloc` would abort, as `Box::new` does).
+    HeapGlobal,
+    /// `desc_alloc` asking the slab pool for an MCAS/RDCSS descriptor.
+    /// Refusal exercises the descriptor Box fallback.
+    DescPool,
+    /// The slab pool's refill cold path (magazine miss). Refusal makes
+    /// `lfrc_pool::alloc` return `None`, which every caller must treat
+    /// as "fall back to the global allocator".
+    PoolRefill,
+}
+
+impl AllocSite {
+    /// Every alloc-fault site; OOM sweeps iterate this.
+    pub const ALL: [AllocSite; 4] = [
+        AllocSite::HeapPooled,
+        AllocSite::HeapGlobal,
+        AllocSite::DescPool,
+        AllocSite::PoolRefill,
+    ];
+
+    /// Small stable tag, mixed into schedule trace hashes.
+    pub fn tag(self) -> u64 {
+        match self {
+            AllocSite::HeapPooled => 1,
+            AllocSite::HeapGlobal => 2,
+            AllocSite::DescPool => 3,
+            AllocSite::PoolRefill => 4,
+        }
+    }
+
+    /// Human-readable site name, used in fault-plan dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocSite::HeapPooled => "heap-pooled",
+            AllocSite::HeapGlobal => "heap-global",
+            AllocSite::DescPool => "desc-pool",
+            AllocSite::PoolRefill => "pool-refill",
+        }
+    }
+}
+
+/// A per-thread allocation-fault hook: returns `false` to make the
+/// allocation at `site` fail.
+pub type AllocHook = Box<dyn FnMut(AllocSite) -> bool>;
+
+#[cfg(feature = "inject")]
+thread_local! {
+    static ALLOC_HOOK: RefCell<Option<AllocHook>> = const { RefCell::new(None) };
+}
+
+/// Whether allocation-fault checks are compiled in (`inject` feature).
+///
+/// Schedulers that were handed a fault plan with OOM specs use this to
+/// fail loudly instead of silently running a faultless schedule.
+pub const fn alloc_faults_compiled() -> bool {
+    cfg!(feature = "inject")
+}
+
+/// Called at every fallible allocation site. `true` means proceed;
+/// `false` means the caller must take its allocation-failure path.
+///
+/// Without the `inject` feature this is a constant `true` and the
+/// failure branch folds away entirely; with it, an un-hooked thread pays
+/// one thread-local read (same contract as [`yield_point`], including
+/// tolerance of TLS teardown).
+#[inline]
+pub fn alloc_allowed(site: AllocSite) -> bool {
+    #[cfg(feature = "inject")]
+    {
+        ALLOC_HOOK
+            .try_with(|h| match h.borrow_mut().as_mut() {
+                Some(f) => f(site),
+                None => true,
+            })
+            .unwrap_or(true)
+    }
+    #[cfg(not(feature = "inject"))]
+    {
+        let _ = site;
+        true
+    }
+}
+
+/// Installs (or clears) the allocation-fault hook for the calling
+/// thread. Without the `inject` feature the hook is dropped unused.
+pub fn set_thread_alloc_hook(hook: Option<AllocHook>) {
+    #[cfg(feature = "inject")]
+    ALLOC_HOOK.with(|h| *h.borrow_mut() = hook);
+    #[cfg(not(feature = "inject"))]
+    drop(hook);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,28 +373,31 @@ mod tests {
 
     #[test]
     fn tags_are_unique() {
-        let sites = [
-            InstrSite::LoadDcasWindow,
-            InstrSite::DestroyDecrement,
-            InstrSite::RdcssInstalled,
-            InstrSite::McasBeforeStatusCas,
-            InstrSite::LockSpin,
-            InstrSite::DequePushBeforeDcas,
-            InstrSite::DequePopAfterReadHats,
-            InstrSite::DequePopBeforeDcas,
-            InstrSite::DequePopBeforeClaim,
-            InstrSite::DeferAppend,
-            InstrSite::DeferFlush,
-            InstrSite::DeferEpochAdvance,
-            InstrSite::BorrowLoad,
-            InstrSite::BorrowPromote,
-            InstrSite::PoolMagazineHit,
-            InstrSite::PoolRemoteFree,
-            InstrSite::PoolSlabRetire,
-        ];
-        let mut tags: Vec<u64> = sites.iter().map(|s| s.tag()).collect();
+        let mut tags: Vec<u64> = InstrSite::ALL.iter().map(|s| s.tag()).collect();
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags.len(), sites.len());
+        assert_eq!(tags.len(), InstrSite::ALL.len());
+        assert_eq!(tags, (1..=InstrSite::ALL.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn alloc_tags_are_unique() {
+        let mut tags: Vec<u64> = AllocSite::ALL.iter().map(|s| s.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), AllocSite::ALL.len());
+    }
+
+    #[test]
+    fn alloc_allowed_defaults_to_true() {
+        assert!(alloc_allowed(AllocSite::HeapPooled));
+        // Installing a hook only has effect when `inject` is compiled in.
+        set_thread_alloc_hook(Some(Box::new(|_| false)));
+        assert_eq!(
+            alloc_allowed(AllocSite::HeapGlobal),
+            !alloc_faults_compiled()
+        );
+        set_thread_alloc_hook(None);
+        assert!(alloc_allowed(AllocSite::DescPool));
     }
 }

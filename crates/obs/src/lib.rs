@@ -48,8 +48,8 @@ pub mod instrument;
 pub mod recorder;
 
 pub use counters::Counter;
-pub use instrument::InstrSite;
 pub use export::Snapshot;
+pub use instrument::InstrSite;
 pub use recorder::EventKind;
 
 /// Whether this build records anything (`enabled` cargo feature).

@@ -229,10 +229,7 @@ mod imp {
         if slot.is_some() {
             return; // first violation wins until reset_violations()
         }
-        let mut text = format!(
-            "lfrc-obs: VIOLATION: {} (addr={:#x})\n",
-            reason, addr
-        );
+        let mut text = format!("lfrc-obs: VIOLATION: {} (addr={:#x})\n", reason, addr);
         text.push_str(&dump());
         eprintln!("{}", text);
         *slot = Some(text);
@@ -332,7 +329,10 @@ mod tests {
         let d = dump();
         // The newest event survives; an event overwritten by the wrap
         // (rc = 10 from the first lap) need not.
-        assert!(d.contains(&format!("rc={}", RING_CAP as u64 + 15)), "dump was: {d}");
+        assert!(
+            d.contains(&format!("rc={}", RING_CAP as u64 + 15)),
+            "dump was: {d}"
+        );
     }
 
     #[cfg(feature = "enabled")]

@@ -106,7 +106,7 @@ mod imp {
     use std::sync::Mutex;
 
     use lfrc_obs::counters::{self, Counter};
-    use lfrc_obs::instrument::{yield_point, InstrSite};
+    use lfrc_obs::instrument::{self, yield_point, InstrSite};
 
     use super::{PoolStats, MAX_ALLOC, SLAB_SIZE};
 
@@ -187,7 +187,7 @@ mod imp {
         if size > MAX_ALLOC || layout.align() > CLASS_GRAIN {
             return None;
         }
-        Some((size + CLASS_GRAIN - 1) / CLASS_GRAIN - 1)
+        Some(size.div_ceil(CLASS_GRAIN) - 1)
     }
 
     /// # Safety
@@ -435,6 +435,12 @@ mod imp {
             return Some(unsafe { NonNull::new_unchecked(p) });
         }
         counters::add(Counter::PoolMagazineMiss, 1);
+        // Injected refill failure: the cold path is where a real pool
+        // would hit mmap exhaustion, and `None` is the documented
+        // "fall back to the global allocator" answer for every caller.
+        if !instrument::alloc_allowed(instrument::AllocSite::PoolRefill) {
+            return None;
+        }
         Some(slow_alloc(cls))
     }
 
@@ -508,7 +514,11 @@ mod imp {
     pub unsafe fn release_retired_slab(p: *mut ()) {
         let hdr = p as *mut SlabHeader;
         unsafe {
-            debug_assert_eq!((*hdr).magic, SLAB_MAGIC, "double release of a retired slab?");
+            debug_assert_eq!(
+                (*hdr).magic,
+                SLAB_MAGIC,
+                "double release of a retired slab?"
+            );
             // Poison the magic so a late header_of on a stale slot fails
             // loudly in debug builds (until the pages are reused).
             (*hdr).magic = 0;
@@ -518,7 +528,9 @@ mod imp {
     }
 
     pub fn flush_magazines() -> usize {
-        TLS_MAGS.try_with(|g| unsafe { drain_set(g.0) }).unwrap_or(0)
+        TLS_MAGS
+            .try_with(|g| unsafe { drain_set(g.0) })
+            .unwrap_or(0)
     }
 
     pub fn stats() -> PoolStats {
@@ -665,7 +677,11 @@ mod tests {
         let _g = TEST_LOCK.lock().unwrap();
         let l = layout(48);
         let p = alloc(l).unwrap();
-        assert_eq!(p.as_ptr() as usize % 64, 0, "slots sit on 64-byte boundaries");
+        assert_eq!(
+            p.as_ptr() as usize % 64,
+            0,
+            "slots sit on 64-byte boundaries"
+        );
         assert_ne!(
             p.as_ptr() as usize % SLAB_SIZE,
             0,
@@ -673,7 +689,10 @@ mod tests {
         );
         unsafe { dealloc(p) };
         let q = alloc(l).unwrap();
-        assert_eq!(p, q, "magazine is LIFO: immediate realloc returns the same slot");
+        assert_eq!(
+            p, q,
+            "magazine is LIFO: immediate realloc returns the same slot"
+        );
         unsafe { dealloc(q) };
     }
 
@@ -718,7 +737,9 @@ mod tests {
         // Unique class for this test: 2048-byte slots, 31 per slab.
         let l = layout(2048);
         let ptrs: Vec<usize> = std::thread::spawn(move || {
-            (0..31).map(|_| alloc(l).unwrap().as_ptr() as usize).collect()
+            (0..31)
+                .map(|_| alloc(l).unwrap().as_ptr() as usize)
+                .collect()
         })
         .join()
         .unwrap();

@@ -114,7 +114,9 @@ impl Deferred {
 
 impl fmt::Debug for Deferred {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Deferred").field("data", &self.data).finish()
+        f.debug_struct("Deferred")
+            .field("data", &self.data)
+            .finish()
     }
 }
 
@@ -466,6 +468,7 @@ impl LocalHandle {
         }
     }
 
+    #[allow(clippy::mut_from_ref)] // single-threaded interior mutability, see safety note
     fn bag_mut(&self) -> &mut Vec<(u64, Deferred)> {
         // Safety: `LocalHandle` is `!Send + !Sync`; only the owning thread
         // reaches this cell, and no reentrancy touches the bag while a

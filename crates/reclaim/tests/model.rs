@@ -65,7 +65,10 @@ fn retired_object_survives_every_prior_guard() {
     assert!(!dropped.load(Ordering::SeqCst), "freed under g2");
     drop(g2);
     writer.flush();
-    assert!(!dropped.load(Ordering::SeqCst), "freed under g3 (conservative)");
+    assert!(
+        !dropped.load(Ordering::SeqCst),
+        "freed under g3 (conservative)"
+    );
     drop(g3);
     writer.flush();
     writer.flush();

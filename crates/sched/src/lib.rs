@@ -78,14 +78,16 @@
 
 pub mod explore;
 pub mod rng;
+pub mod shrink;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 pub use explore::{ExploreStats, Explorer};
-pub use lfrc_dcas::instrument::{self, InstrSite};
+pub use lfrc_dcas::instrument::{self, AllocSite, InstrSite};
 pub use lfrc_deque::SchedPause;
 pub use rng::SplitMix64;
+pub use shrink::Counterexample;
 
 /// Environment variable consulted by [`seed_from_env`] and printed when a
 /// scheduled run fails, enabling exact replay of a failing interleaving.
@@ -127,6 +129,105 @@ pub struct Decision {
     pub alternatives: u32,
 }
 
+/// How an injected thread crash manifests at its chosen site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// The thread is permanently parked at the site — the paper's
+    /// "failed thread": whatever it holds (counted references, epoch
+    /// pins, unflushed decrement buffers) stays held while every other
+    /// thread runs to completion. The parked thread is unwound only
+    /// after the run is otherwise finished, so `std::thread::scope` can
+    /// join it.
+    Stall,
+    /// The thread panics at the site. Its unwind runs destructors (so
+    /// stack-held references are released) while still holding the
+    /// scheduling token — deterministic, like any other atomic stretch.
+    Panic,
+}
+
+/// Kills one logical thread at a chosen yield-site visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Which logical thread dies.
+    pub thread: usize,
+    /// Die at this site (`None`: at any scheduled site).
+    pub site: Option<InstrSite>,
+    /// Skip this many matching visits first: `0` dies at the first
+    /// matching visit, `2` at the third. For `site: None` the count is
+    /// over all scheduled sites.
+    pub skip: u32,
+    /// How the death manifests.
+    pub mode: CrashMode,
+}
+
+/// Refuses allocations at a chosen [`AllocSite`] on one logical thread.
+///
+/// Requires the `inject` cargo feature (the checks are compiled out
+/// otherwise); [`Schedule::run`] refuses to run a plan it cannot honor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomSpec {
+    /// Which logical thread's allocations fail.
+    pub thread: usize,
+    /// The allocation site to refuse.
+    pub site: AllocSite,
+    /// Skip this many visits to the site before refusing.
+    pub skip: u32,
+    /// Refuse this many consecutive visits (`u32::MAX`: forever).
+    pub count: u32,
+}
+
+/// A deterministic fault plan: which threads die where, and which
+/// allocations are refused. Part of a [`Schedule`], so a `(seed, plan)`
+/// pair identifies a faulty execution exactly.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Thread-crash injections.
+    pub crashes: Vec<CrashSpec>,
+    /// Allocation-failure injections.
+    pub ooms: Vec<OomSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a thread-crash injection.
+    pub fn crash(mut self, spec: CrashSpec) -> Self {
+        self.crashes.push(spec);
+        self
+    }
+
+    /// Adds an allocation-failure injection.
+    pub fn oom(mut self, spec: OomSpec) -> Self {
+        self.ooms.push(spec);
+        self
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.ooms.is_empty()
+    }
+}
+
+/// One injected thread death, as it actually happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRecord {
+    /// The thread that died.
+    pub thread: usize,
+    /// The site it died at.
+    pub site: InstrSite,
+    /// How it died.
+    pub mode: CrashMode,
+    /// The global step count at the moment of death.
+    pub step: u64,
+}
+
+/// The panic payload used internally to unwind an injected crash out of
+/// the thread body. Distinguishable from a real failure by type.
+struct CrashToken;
+
 /// One step of the executed interleaving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
@@ -149,8 +250,12 @@ pub struct Trace {
     /// independent of the policy that produced it.
     pub decisions: Vec<Decision>,
     /// The full event sequence (thread, site) plus one terminal event
-    /// per thread.
+    /// per thread (crashed threads get a [`CrashRecord`] instead).
     pub events: Vec<Event>,
+    /// Injected thread deaths that actually fired, in order.
+    pub crashes: Vec<CrashRecord>,
+    /// How many allocations the fault plan refused.
+    pub oom_refusals: u64,
 }
 
 impl Trace {
@@ -192,9 +297,14 @@ struct State {
     chooser: Chooser,
     decisions: Vec<Decision>,
     events: Vec<Event>,
+    crashes: Vec<CrashRecord>,
+    oom_refusals: u64,
     hash: u64,
     steps: u64,
     max_steps: u64,
+    /// Set when the last runnable thread retires; stalled (crashed)
+    /// threads wait on it so `std::thread::scope` can join them.
+    run_done: bool,
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
@@ -252,6 +362,7 @@ pub type Body<'env> = Box<dyn FnOnce() + Send + 'env>;
 pub struct Schedule {
     max_steps: u64,
     pool_sites: bool,
+    faults: FaultPlan,
 }
 
 impl Default for Schedule {
@@ -264,7 +375,11 @@ impl Schedule {
     /// A scheduler with the default step cap (200 000 yield points).
     /// Pool sites are excluded by default — see [`Schedule::pool_sites`].
     pub fn new() -> Self {
-        Schedule { max_steps: 200_000, pool_sites: false }
+        Schedule {
+            max_steps: 200_000,
+            pool_sites: false,
+            faults: FaultPlan::default(),
+        }
     }
 
     /// Overrides the step cap. The cap turns a livelocked schedule
@@ -290,56 +405,27 @@ impl Schedule {
         self
     }
 
+    /// Attaches a deterministic [`FaultPlan`] — which threads die where
+    /// (the paper's "failed thread") and which allocations are refused.
+    ///
+    /// Crash specs targeting pool sites fire only with
+    /// [`Schedule::pool_sites`] on (a filtered site is never scheduled,
+    /// so nothing can die there). OOM specs require the `inject` cargo
+    /// feature; [`Schedule::run`] panics on a plan it cannot honor
+    /// rather than silently running faultlessly.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Runs `bodies` under `policy` and returns the executed [`Trace`].
     ///
     /// If a body panics, the replay recipe (seed or decision prefix) and
     /// the trace hash are printed to stderr, then the panic is
     /// propagated to the caller.
     pub fn run<'env>(&self, policy: &Policy, bodies: Vec<Body<'env>>) -> Trace {
-        let n = bodies.len();
-        let chooser = match policy {
-            Policy::Random(seed) => Chooser::Random(SplitMix64::new(*seed)),
-            Policy::Prefix(choices) => Chooser::Prefix(choices.clone()),
-        };
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                active: usize::MAX,
-                alive: vec![true; n],
-                chooser,
-                decisions: Vec::new(),
-                events: Vec::new(),
-                hash: FNV_OFFSET,
-                steps: 0,
-                max_steps: self.max_steps,
-                panic: None,
-            }),
-            cv: Condvar::new(),
-        });
-
-        std::thread::scope(|s| {
-            for (id, body) in bodies.into_iter().enumerate() {
-                let shared = Arc::clone(&shared);
-                let pool_sites = self.pool_sites;
-                s.spawn(move || worker(shared, id, body, pool_sites));
-            }
-            // Open the start gate: pick the first thread to run.
-            let mut st = lock(&shared.state);
-            if let Some(first) = choose(&mut st) {
-                st.active = first;
-            }
-            drop(st);
-            shared.cv.notify_all();
-        });
-
-        let mut st = lock(&shared.state);
-        let trace = Trace {
-            hash: st.hash,
-            steps: st.steps,
-            decisions: std::mem::take(&mut st.decisions),
-            events: std::mem::take(&mut st.events),
-        };
-        if let Some(payload) = st.panic.take() {
-            drop(st);
+        let (trace, failure) = self.run_caught(policy, bodies);
+        if let Some(payload) = failure {
             eprintln!(
                 "lfrc-sched: schedule FAILED after {} steps (trace hash {:#018x})",
                 trace.steps, trace.hash
@@ -360,6 +446,73 @@ impl Schedule {
         }
         trace
     }
+
+    /// Like [`Schedule::run`], but a failing schedule returns the
+    /// executed [`Trace`] *and* the panic payload instead of printing
+    /// the replay banner and unwinding. This is what the
+    /// [`shrink`] machinery probes candidates with — a shrinker that
+    /// loses the failing trace cannot assert bit-identical replay.
+    pub fn run_caught<'env>(
+        &self,
+        policy: &Policy,
+        bodies: Vec<Body<'env>>,
+    ) -> (Trace, Option<Box<dyn std::any::Any + Send>>) {
+        assert!(
+            self.faults.ooms.is_empty() || instrument::alloc_faults_compiled(),
+            "fault plan has OOM specs but allocation-fault checks are compiled out; \
+             rebuild with `--features inject`"
+        );
+        let n = bodies.len();
+        let chooser = match policy {
+            Policy::Random(seed) => Chooser::Random(SplitMix64::new(*seed)),
+            Policy::Prefix(choices) => Chooser::Prefix(choices.clone()),
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                active: usize::MAX,
+                alive: vec![true; n],
+                chooser,
+                decisions: Vec::new(),
+                events: Vec::new(),
+                crashes: Vec::new(),
+                oom_refusals: 0,
+                hash: FNV_OFFSET,
+                steps: 0,
+                max_steps: self.max_steps,
+                run_done: false,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        });
+        let faults = Arc::new(self.faults.clone());
+
+        std::thread::scope(|s| {
+            for (id, body) in bodies.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                let faults = Arc::clone(&faults);
+                let pool_sites = self.pool_sites;
+                s.spawn(move || worker(shared, id, body, pool_sites, faults));
+            }
+            // Open the start gate: pick the first thread to run.
+            let mut st = lock(&shared.state);
+            if let Some(first) = choose(&mut st) {
+                st.active = first;
+            }
+            drop(st);
+            shared.cv.notify_all();
+        });
+
+        let mut st = lock(&shared.state);
+        let trace = Trace {
+            hash: st.hash,
+            steps: st.steps,
+            decisions: std::mem::take(&mut st.decisions),
+            events: std::mem::take(&mut st.events),
+            crashes: std::mem::take(&mut st.crashes),
+            oom_refusals: st.oom_refusals,
+        };
+        (trace, st.panic.take())
+    }
 }
 
 /// Convenience wrapper: run `bodies` under [`Policy::Random`] with
@@ -374,7 +527,13 @@ fn lock<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn worker(shared: Arc<Shared>, id: usize, body: Body<'_>, pool_sites: bool) {
+fn worker(
+    shared: Arc<Shared>,
+    id: usize,
+    body: Body<'_>,
+    pool_sites: bool,
+    faults: Arc<FaultPlan>,
+) {
     // Park at the start gate until scheduled for the first time.
     {
         let mut st = lock(&shared.state);
@@ -383,33 +542,150 @@ fn worker(shared: Arc<Shared>, id: usize, body: Body<'_>, pool_sites: bool) {
         }
     }
 
+    // Allocation-fault hook: refuses the visits the plan names. Fires
+    // while this thread holds the scheduling token (allocations happen
+    // inside the body), so the shared-state update is deterministic.
+    let my_ooms: Vec<OomSpec> = faults
+        .ooms
+        .iter()
+        .filter(|o| o.thread == id)
+        .copied()
+        .collect();
+    if !my_ooms.is_empty() {
+        let oom_shared = Arc::clone(&shared);
+        let mut visits = [0u32; AllocSite::ALL.len()];
+        instrument::set_thread_alloc_hook(Some(Box::new(move |site| {
+            let idx = (site.tag() - 1) as usize;
+            let v = visits[idx];
+            visits[idx] += 1;
+            let refuse = my_ooms
+                .iter()
+                .any(|o| o.site == site && v >= o.skip && v - o.skip < o.count);
+            if refuse {
+                let mut st = lock(&oom_shared.state);
+                st.oom_refusals += 1;
+                st.hash = fnv_mix(st.hash, id as u64, OOM_TAG_BASE + site.tag());
+            }
+            !refuse
+        })));
+    }
+
     // Every instrumented yield point in code run by this body now routes
     // into the scheduler. Pool sites are forwarded only on opt-in: their
     // firing depends on global allocator state, so scheduling on them
     // would break bit-identical replay (see `Schedule::pool_sites`).
+    //
+    // Crash specs are checked here too: a due site visit becomes a death
+    // instead of a yield. `crashed` latches so the unwind (whose
+    // destructors cross yield points) runs as one uninterrupted — and
+    // therefore deterministic — stretch, and cannot re-crash.
+    let my_crashes: Vec<CrashSpec> = faults
+        .crashes
+        .iter()
+        .filter(|c| c.thread == id)
+        .copied()
+        .collect();
     let hook_shared = Arc::clone(&shared);
+    let mut crashed = false;
+    let mut site_visits = [0u32; InstrSite::ALL.len()];
+    let mut total_visits = 0u32;
     instrument::set_thread_hook(Some(Box::new(move |site| {
-        if site.is_pool() && !pool_sites {
+        if crashed || (site.is_pool() && !pool_sites) {
             return;
+        }
+        let idx = (site.tag() - 1) as usize;
+        let v = site_visits[idx];
+        site_visits[idx] += 1;
+        let total = total_visits;
+        total_visits += 1;
+        let due = my_crashes
+            .iter()
+            .find(|c| match c.site {
+                Some(s) => s == site && v == c.skip,
+                None => total == c.skip,
+            })
+            .map(|c| c.mode);
+        if let Some(mode) = due {
+            crashed = true;
+            crash_thread(&hook_shared, id, site, mode);
+            resume_unwind(Box::new(CrashToken));
         }
         yield_to_scheduler(&hook_shared, id, site);
     })));
     let result = catch_unwind(AssertUnwindSafe(body));
     instrument::set_thread_hook(None);
+    instrument::set_thread_alloc_hook(None);
 
-    // Retire: record the terminal event and hand the token onward.
+    // Retire: record the terminal event and hand the token onward. An
+    // injected crash already recorded its death (and, for a stall,
+    // already gave up the token); it is not a failure and not a normal
+    // termination either.
+    let injected = matches!(&result, Err(p) if p.is::<CrashToken>());
     let mut st = lock(&shared.state);
     st.alive[id] = false;
-    st.events.push(Event { thread: id, site: None });
-    st.hash = fnv_mix(st.hash, id as u64, 0); // site tags start at 1
-    if let Err(payload) = result {
-        if st.panic.is_none() {
-            st.panic = Some(payload);
+    if !injected {
+        st.events.push(Event {
+            thread: id,
+            site: None,
+        });
+        st.hash = fnv_mix(st.hash, id as u64, 0); // site tags start at 1
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
         }
     }
-    st.active = choose(&mut st).unwrap_or(usize::MAX);
+    match choose(&mut st) {
+        Some(next) => st.active = next,
+        None => {
+            st.active = usize::MAX;
+            st.run_done = true;
+        }
+    }
     drop(st);
     shared.cv.notify_all();
+}
+
+/// Hash-tag bases marking injected faults in the trace digest, disjoint
+/// from plain site tags so a faulty run never collides with a clean one.
+const CRASH_STALL_TAG_BASE: u64 = 0x100;
+const CRASH_PANIC_TAG_BASE: u64 = 0x200;
+const OOM_TAG_BASE: u64 = 0x300;
+
+/// Records an injected death. For a panic the caller unwinds while still
+/// holding the scheduling token (the unwind is one atomic stretch, like
+/// any uninstrumented code). For a stall the thread gives up the token
+/// *forever* — it parks here until the run is otherwise complete, then
+/// returns so the caller can unwind and be joined.
+fn crash_thread(shared: &Shared, id: usize, site: InstrSite, mode: CrashMode) {
+    let mut st = lock(&shared.state);
+    st.steps += 1;
+    let step = st.steps;
+    st.crashes.push(CrashRecord {
+        thread: id,
+        site,
+        mode,
+        step,
+    });
+    let base = match mode {
+        CrashMode::Stall => CRASH_STALL_TAG_BASE,
+        CrashMode::Panic => CRASH_PANIC_TAG_BASE,
+    };
+    st.hash = fnv_mix(st.hash, id as u64, base + site.tag());
+    if mode == CrashMode::Stall {
+        st.alive[id] = false;
+        match choose(&mut st) {
+            Some(next) => st.active = next,
+            None => {
+                st.active = usize::MAX;
+                st.run_done = true;
+            }
+        }
+        shared.cv.notify_all();
+        while !st.run_done {
+            st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
 }
 
 /// The heart of the scheduler: called (via the instrumentation hook) by
@@ -419,8 +695,11 @@ fn yield_to_scheduler(shared: &Shared, id: usize, site: InstrSite) {
     let mut st = lock(&shared.state);
     debug_assert_eq!(st.active, id, "only the active thread can yield");
     st.steps += 1;
-    st.events.push(Event { thread: id, site: Some(site) });
-    st.hash = fnv_mix(st.hash, id as u64, site.tag() as u64);
+    st.events.push(Event {
+        thread: id,
+        site: Some(site),
+    });
+    st.hash = fnv_mix(st.hash, id as u64, site.tag());
     if st.steps > st.max_steps {
         let cap = st.max_steps;
         drop(st);
@@ -557,14 +836,169 @@ mod tests {
             instrument::yield_point(InstrSite::LockSpin);
         })];
         let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            Schedule::new().max_steps(500).run(&Policy::Random(0), bodies);
+            Schedule::new()
+                .max_steps(500)
+                .run(&Policy::Random(0), bodies);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("step cap"), "got: {msg}");
+    }
+
+    /// Two counting bodies for the crash tests: each yields once and
+    /// then increments its own slot, so a thread killed at its yield
+    /// site visibly never completes its work.
+    fn counting_bodies<'a>(done: &'a [AtomicU64; 2]) -> Vec<Body<'a>> {
+        (0..2)
+            .map(|id| {
+                let body: Body<'a> = Box::new(move || {
+                    instrument::yield_point(InstrSite::LoadDcasWindow);
+                    instrument::yield_point(InstrSite::DestroyDecrement);
+                    done[id].fetch_add(1, Ordering::SeqCst);
+                });
+                body
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stalled_thread_never_completes_but_others_do() {
+        let done = [AtomicU64::new(0), AtomicU64::new(0)];
+        let trace = Schedule::new()
+            .faults(FaultPlan::new().crash(CrashSpec {
+                thread: 0,
+                site: Some(InstrSite::LoadDcasWindow),
+                skip: 0,
+                mode: CrashMode::Stall,
+            }))
+            .run(&Policy::Random(5), counting_bodies(&done));
+        assert_eq!(done[0].load(Ordering::SeqCst), 0, "dead thread ran on");
+        assert_eq!(done[1].load(Ordering::SeqCst), 1, "survivor must finish");
+        assert_eq!(trace.crashes.len(), 1);
+        let c = trace.crashes[0];
+        assert_eq!(
+            (c.thread, c.site, c.mode),
+            (0, InstrSite::LoadDcasWindow, CrashMode::Stall)
+        );
+        // Only the survivor retires normally (one terminal event).
+        assert_eq!(trace.events.iter().filter(|e| e.site.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn panicking_crash_runs_destructors_and_is_not_a_failure() {
+        struct SetOnDrop<'a>(&'a AtomicU64);
+        impl Drop for SetOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = AtomicU64::new(0);
+        let completed = AtomicU64::new(0);
+        let trace = {
+            let (dropped, completed) = (&dropped, &completed);
+            let bodies: Vec<Body<'_>> = vec![
+                Box::new(move || {
+                    let _guard = SetOnDrop(dropped);
+                    instrument::yield_point(InstrSite::DestroyDecrement);
+                    completed.fetch_add(1, Ordering::SeqCst);
+                }),
+                Box::new(move || {
+                    instrument::yield_point(InstrSite::DestroyDecrement);
+                    completed.fetch_add(1, Ordering::SeqCst);
+                }),
+            ];
+            // `run` (not run_caught): an injected crash must not trip
+            // the failure path, or this unwinds right here.
+            Schedule::new()
+                .faults(FaultPlan::new().crash(CrashSpec {
+                    thread: 0,
+                    site: Some(InstrSite::DestroyDecrement),
+                    skip: 0,
+                    mode: CrashMode::Panic,
+                }))
+                .run(&Policy::Random(11), bodies)
+        };
+        assert_eq!(dropped.load(Ordering::SeqCst), 1, "unwind must run Drop");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            1,
+            "only the survivor completes"
+        );
+        assert_eq!(trace.crashes.len(), 1);
+    }
+
+    #[test]
+    fn crash_at_any_site_uses_the_global_visit_count() {
+        let done = [AtomicU64::new(0), AtomicU64::new(0)];
+        let trace = Schedule::new()
+            .faults(FaultPlan::new().crash(CrashSpec {
+                thread: 1,
+                site: None,
+                skip: 1, // die at thread 1's *second* scheduled site
+                mode: CrashMode::Stall,
+            }))
+            .run(&Policy::Random(5), counting_bodies(&done));
+        assert_eq!(trace.crashes.len(), 1);
+        assert_eq!(trace.crashes[0].site, InstrSite::DestroyDecrement);
+        assert_eq!(done[1].load(Ordering::SeqCst), 0);
+        assert_eq!(done[0].load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn same_fault_plan_same_seed_same_trace() {
+        let plan = FaultPlan::new().crash(CrashSpec {
+            thread: 0,
+            site: Some(InstrSite::DestroyDecrement),
+            skip: 0,
+            mode: CrashMode::Panic,
+        });
+        let run = |plan: FaultPlan| {
+            let done = [AtomicU64::new(0), AtomicU64::new(0)];
+            let trace = Schedule::new()
+                .faults(plan)
+                .run(&Policy::Random(42), counting_bodies(&done));
+            (trace.hash, trace.events, trace.crashes)
+        };
+        assert_eq!(run(plan.clone()), run(plan));
+        // And the digest distinguishes faulty from clean executions.
+        let done = [AtomicU64::new(0), AtomicU64::new(0)];
+        let clean = Schedule::new().run(&Policy::Random(42), counting_bodies(&done));
+        assert_ne!(
+            run(FaultPlan::new().crash(CrashSpec {
+                thread: 0,
+                site: Some(InstrSite::DestroyDecrement),
+                skip: 0,
+                mode: CrashMode::Panic,
+            }))
+            .0,
+            clean.hash
+        );
+    }
+
+    #[test]
+    fn oom_plan_is_refused_when_checks_are_compiled_out() {
+        if instrument::alloc_faults_compiled() {
+            return; // the plan is honored instead; covered by tests/fault.rs
+        }
+        let plan = FaultPlan::new().oom(OomSpec {
+            thread: 0,
+            site: AllocSite::HeapPooled,
+            skip: 0,
+            count: 1,
+        });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Schedule::new()
+                .faults(plan)
+                .run(&Policy::Random(0), vec![Box::new(|| {}) as Body<'static>]);
         }))
         .unwrap_err();
         let msg = err
-            .downcast_ref::<String>()
-            .cloned()
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
             .unwrap_or_default();
-        assert!(msg.contains("step cap"), "got: {msg}");
+        assert!(msg.contains("--features inject"), "got: {msg}");
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Counterexample shrinking: delta-debugs a failing schedule's decision
+//! list to a locally-minimal failing subsequence and packages it — with
+//! the flight-recorder dump — as a replayable artifact file.
+//!
+//! A schedule found by exploration routinely fails after hundreds of
+//! decisions, of which a handful matter. The shrinker is classic
+//! [ddmin]: repeatedly delete chunks of the decision list, keep any
+//! deletion that still fails, and finish with a 1-minimal pass (removing
+//! any single remaining decision makes the failure vanish). Deleting
+//! decisions is always *valid* here — [`Policy::Prefix`] clamps
+//! out-of-range choices and falls back to thread 0 past the end — so
+//! every candidate is a runnable schedule and "does it fail" is the only
+//! question.
+//!
+//! Determinism carries through: a candidate's verdict is a pure function
+//! of its decision list (given deterministic bodies and a fixed
+//! [`FaultPlan`](crate::FaultPlan)), so shrinking the same failure twice
+//! produces the same minimal schedule, and replaying the minimal
+//! schedule reproduces the failure bit-identically (equal trace hash).
+//!
+//! [ddmin]: https://doi.org/10.1109/32.988498
+//!
+//! ```
+//! use lfrc_sched::shrink::shrink_decisions;
+//!
+//! // A toy oracle: "fails" iff the list still contains both a 3 and a 5.
+//! let initial: Vec<u32> = vec![1, 3, 2, 2, 4, 5, 0, 1];
+//! let outcome = shrink_decisions(&initial, |cand| {
+//!     cand.contains(&3) && cand.contains(&5)
+//! });
+//! assert_eq!(outcome.decisions, vec![3, 5]);
+//! ```
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::{Body, Policy, Schedule, Trace};
+
+/// The result of a [`shrink_decisions`] run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The locally-minimal failing decision list.
+    pub decisions: Vec<u32>,
+    /// How many candidate schedules were executed.
+    pub attempts: u64,
+}
+
+/// Delta-debugs `initial` (which must fail) down to a locally-minimal
+/// failing subsequence. `fails` is the oracle: it runs the system under
+/// test against a candidate decision list and reports whether the
+/// failure still occurs.
+///
+/// The result is 1-minimal: removing any single remaining decision makes
+/// the failure disappear. Minimality is *local* — a different, shorter
+/// failing schedule may exist elsewhere in the schedule tree.
+///
+/// # Panics
+///
+/// Panics if `initial` itself does not fail (a broken oracle would
+/// otherwise "shrink" to a meaningless empty schedule).
+pub fn shrink_decisions(initial: &[u32], mut fails: impl FnMut(&[u32]) -> bool) -> ShrinkOutcome {
+    let mut attempts = 0u64;
+    let mut check = |cand: &[u32]| {
+        attempts += 1;
+        fails(cand)
+    };
+    assert!(
+        check(initial),
+        "shrink_decisions: the initial decision list does not fail"
+    );
+    let mut current: Vec<u32> = initial.to_vec();
+
+    // ddmin proper: remove ever-finer chunks while something still fails.
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<u32> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if check(&candidate) {
+                current = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+
+    // 1-minimal pass: retry every single-element deletion until none
+    // succeeds (a deletion can enable another, so loop to fixpoint).
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if check(&candidate) {
+                current = candidate;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        decisions: current,
+        attempts,
+    }
+}
+
+/// A minimized failing schedule, packaged for replay: the decision list,
+/// the trace it produces, the failure message, and the flight-recorder
+/// dump captured at the minimal failure.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Short label naming the failing check (used in the artifact file
+    /// name).
+    pub name: String,
+    /// The locally-minimal failing decision list. Replay with
+    /// [`Policy::Prefix`].
+    pub decisions: Vec<u32>,
+    /// Trace hash of the minimal failing run — replays must match it
+    /// bit-for-bit.
+    pub hash: u64,
+    /// The minimal failing run's site trace (and injected crashes), one
+    /// event per line.
+    pub events: String,
+    /// The panic message of the minimal failing run.
+    pub message: String,
+    /// Flight-recorder dump latched at the minimal failure (empty when
+    /// the `obs` feature is off or nothing was recorded).
+    pub recorder_dump: String,
+    /// How many candidate schedules the shrinker executed.
+    pub attempts: u64,
+}
+
+impl Counterexample {
+    /// Renders the artifact file: header lines (machine-parseable by
+    /// [`Counterexample::parse`]) followed by the site trace and the
+    /// flight-recorder dump.
+    pub fn to_artifact(&self) -> String {
+        let mut out = String::new();
+        out.push_str("lfrc-sched counterexample v1\n");
+        out.push_str(&format!("name: {}\n", self.name));
+        out.push_str(&format!("hash: {:#018x}\n", self.hash));
+        let decisions: Vec<String> = self.decisions.iter().map(|d| d.to_string()).collect();
+        out.push_str(&format!("decisions: {}\n", decisions.join(" ")));
+        out.push_str(&format!("attempts: {}\n", self.attempts));
+        out.push_str(&format!("message: {}\n", self.message.replace('\n', " ")));
+        out.push_str("--- events ---\n");
+        out.push_str(&self.events);
+        out.push_str("--- flight recorder ---\n");
+        out.push_str(&self.recorder_dump);
+        out
+    }
+
+    /// Parses the header of an artifact produced by
+    /// [`Counterexample::to_artifact`], recovering the decision list and
+    /// expected trace hash for replay. Returns `None` on malformed input.
+    pub fn parse(text: &str) -> Option<(Vec<u32>, u64)> {
+        let mut lines = text.lines();
+        if lines.next()? != "lfrc-sched counterexample v1" {
+            return None;
+        }
+        let mut decisions = None;
+        let mut hash = None;
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("hash: ") {
+                hash = u64::from_str_radix(rest.trim().strip_prefix("0x")?, 16).ok();
+            } else if let Some(rest) = line.strip_prefix("decisions: ") {
+                decisions = rest
+                    .split_whitespace()
+                    .map(|t| t.parse::<u32>().ok())
+                    .collect::<Option<Vec<u32>>>();
+            } else if line.starts_with("--- ") {
+                break;
+            }
+        }
+        Some((decisions?, hash?))
+    }
+
+    /// Writes the artifact to `dir/<name>.schedule.txt`, creating the
+    /// directory if needed. Returns the path written.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.schedule.txt", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_artifact().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Where failure artifacts land: `$LFRC_SCHED_ARTIFACT_DIR`, or
+/// `target/sched-artifacts/` under the current directory. CI uploads
+/// this directory via `actions/upload-artifact` when a job fails.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os("LFRC_SCHED_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/sched-artifacts"))
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `make_bodies()` under `schedule` with the given decision list,
+/// returning `Err((message, trace))` when the run fails. The oracle
+/// behind [`shrink_failure`]; exposed for tests that need the verdict
+/// and the failing trace together.
+///
+/// The flight recorder's violation latch is reset first, so a latch left
+/// by an earlier candidate cannot masquerade as this run's evidence.
+pub fn run_verdict<'env>(
+    schedule: &Schedule,
+    decisions: &[u32],
+    make_bodies: impl Fn() -> Vec<Body<'env>>,
+) -> Result<Trace, (String, Trace)> {
+    lfrc_obs::recorder::reset_violations();
+    let policy = Policy::Prefix(decisions.to_vec());
+    let (trace, failure) = schedule.run_caught(&policy, make_bodies());
+    match failure {
+        None => Ok(trace),
+        Some(payload) => Err((panic_message(payload.as_ref()), trace)),
+    }
+}
+
+/// Shrinks a known-failing schedule to a locally-minimal failing
+/// subsequence, then replays the minimum once more to capture its exact
+/// trace, failure message, and flight-recorder dump.
+///
+/// `initial` is the failing run's recorded decision list (from
+/// `Trace::decisions`, or a seed-run's recording). `make_bodies` must
+/// produce fresh, deterministic bodies on every call — the shrinker
+/// executes many candidate schedules.
+///
+/// The returned [`Counterexample`] is **not** yet written to disk; call
+/// [`Counterexample::write_to`] (typically with [`artifact_dir`]).
+///
+/// # Panics
+///
+/// Panics if `initial` does not fail under `schedule`.
+pub fn shrink_failure<'env>(
+    schedule: &Schedule,
+    name: &str,
+    initial: &[u32],
+    make_bodies: impl Fn() -> Vec<Body<'env>>,
+) -> Counterexample {
+    let outcome = shrink_decisions(initial, |cand| {
+        run_verdict(schedule, cand, &make_bodies).is_err()
+    });
+
+    // One final replay of the minimum, capturing everything.
+    let (message, trace) = run_verdict(schedule, &outcome.decisions, &make_bodies)
+        .expect_err("shrunk schedule must still fail on replay");
+    let recorder_dump = lfrc_obs::recorder::take_violation_dump().unwrap_or_default();
+
+    let mut events = trace.format_events();
+    for c in &trace.crashes {
+        events.push_str(&format!(
+            "t{} CRASHED ({:?}) at {} (step {})\n",
+            c.thread,
+            c.mode,
+            c.site.name(),
+            c.step
+        ));
+    }
+    Counterexample {
+        name: name.to_string(),
+        decisions: outcome.decisions,
+        hash: trace.hash,
+        events,
+        message,
+        recorder_dump,
+        attempts: outcome.attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_finds_the_two_culprits() {
+        let initial: Vec<u32> = (0..64).collect();
+        let out = shrink_decisions(&initial, |c| c.contains(&17) && c.contains(&42));
+        assert_eq!(out.decisions, vec![17, 42]);
+    }
+
+    #[test]
+    fn ddmin_is_deterministic() {
+        let initial: Vec<u32> = (0..40).rev().collect();
+        let oracle = |c: &[u32]| c.iter().filter(|&&x| x % 7 == 0).count() >= 3;
+        let a = shrink_decisions(&initial, oracle);
+        let b = shrink_decisions(&initial, oracle);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.attempts, b.attempts);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fail")]
+    fn ddmin_rejects_a_passing_input() {
+        shrink_decisions(&[1, 2, 3], |_| false);
+    }
+
+    #[test]
+    fn artifact_round_trips() {
+        let cx = Counterexample {
+            name: "demo".into(),
+            decisions: vec![3, 1, 0, 2],
+            hash: 0xdead_beef_1234_5678,
+            events: "t0 load-dcas-window\n".into(),
+            message: "census: rc-on-freed".into(),
+            recorder_dump: "t0 load…\n".into(),
+            attempts: 17,
+        };
+        let text = cx.to_artifact();
+        let (decisions, hash) = Counterexample::parse(&text).expect("parses");
+        assert_eq!(decisions, cx.decisions);
+        assert_eq!(hash, cx.hash);
+        assert!(Counterexample::parse("garbage").is_none());
+    }
+
+    #[test]
+    fn shrink_failure_on_a_real_schedule() {
+        use crate::{instrument, InstrSite, Schedule};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // Two threads race increments with a yield between load and
+        // store; the "bug" fires when one store clobbers the other (lost
+        // update), which only some schedules produce. Whichever thread
+        // finishes last checks the sum.
+        let make_bodies = || {
+            let cell = std::sync::Arc::new(AtomicU64::new(0));
+            let done = std::sync::Arc::new(AtomicU64::new(0));
+            (0..2)
+                .map(|_| {
+                    let cell = std::sync::Arc::clone(&cell);
+                    let done = std::sync::Arc::clone(&done);
+                    let body: Body<'static> = Box::new(move || {
+                        let v = cell.load(Ordering::SeqCst);
+                        instrument::yield_point(InstrSite::LoadDcasWindow);
+                        cell.store(v + 1, Ordering::SeqCst);
+                        if done.fetch_add(1, Ordering::SeqCst) + 1 == 2 {
+                            assert_eq!(cell.load(Ordering::SeqCst), 2, "lost update observed");
+                        }
+                    });
+                    body
+                })
+                .collect()
+        };
+        // Find a failing schedule by seed search.
+        let sched = Schedule::new();
+        let mut failing: Option<Vec<u32>> = None;
+        for seed in 0..64 {
+            let (trace, failure) = sched.run_caught(&crate::Policy::Random(seed), make_bodies());
+            if failure.is_some() {
+                failing = Some(trace.decisions.iter().map(|d| d.choice).collect());
+                break;
+            }
+        }
+        let initial = failing.expect("the lost-update race must be reachable");
+        let cx = shrink_failure(&sched, "lost-update", &initial, make_bodies);
+        assert!(
+            cx.decisions.len() <= initial.len(),
+            "shrinking never grows the schedule"
+        );
+        assert!(cx.message.contains("lost update"));
+        // Bit-identical replay: same decisions, same trace hash, still
+        // failing.
+        let (msg2, trace2) =
+            run_verdict(&sched, &cx.decisions, make_bodies).expect_err("still fails");
+        assert_eq!(trace2.hash, cx.hash);
+        assert_eq!(msg2, cx.message);
+    }
+}

@@ -33,8 +33,8 @@ pub mod set;
 pub mod skiplist;
 pub mod stack;
 
-pub use queue::{ConcurrentQueue, GcQueue, LfrcQueue};
 pub use llsc_stack::LlscStack;
+pub use queue::{ConcurrentQueue, GcQueue, LfrcQueue};
 pub use set::LfrcOrderedSet;
 pub use skiplist::LfrcSkipList;
 pub use stack::{flush_thread, ConcurrentStack, GcStack, LfrcStack};

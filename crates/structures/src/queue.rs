@@ -109,19 +109,16 @@ impl ConcurrentQueue for GcQueue {
                     .is_ok()
                 {
                     // Swing the tail; failure means someone helped.
-                    let _ = self.tail.compare_exchange(
-                        tail,
-                        node,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, node, Ordering::AcqRel, Ordering::Acquire);
                     return;
                 }
             } else {
                 // Help a lagging enqueuer.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
             }
         })
     }
@@ -137,9 +134,9 @@ impl ConcurrentQueue for GcQueue {
             }
             if head == tail {
                 // Tail is lagging behind an in-flight enqueue: help.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
                 continue;
             }
             // Read the value *before* the CAS (Michael & Scott's order):
@@ -295,9 +292,7 @@ impl<W: DcasWord> ConcurrentQueue for LfrcQueue<W> {
                 None => {
                     if tail_l.next.compare_and_set(None, Some(&node)) {
                         // Linearized; swing the tail (ok to fail).
-                        let _ = self
-                            .tail
-                            .compare_and_set_deferred(Some(&tail), Some(&node));
+                        let _ = self.tail.compare_and_set_deferred(Some(&tail), Some(&node));
                         return;
                     }
                 }
@@ -506,7 +501,11 @@ mod tests {
         // Flush this thread's cached handle (it holds the retired bag).
         crate::stack::flush_thread(q.collector());
         let stats = q.collector().stats();
-        assert_eq!(stats.pending(), 0, "EBR failed to reclaim dequeued sentinels");
+        assert_eq!(
+            stats.pending(),
+            0,
+            "EBR failed to reclaim dequeued sentinels"
+        );
         assert_eq!(stats.retired, 200);
     }
 }

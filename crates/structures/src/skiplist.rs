@@ -236,8 +236,8 @@ impl<W: DcasWord> LfrcSkipList<W> {
             }
             let node = self.heap.alloc(SkipNode::new(ekey, height));
             // Prepare the whole tower before publication.
-            for lvl in 0..height {
-                node.next[lvl].store(Some(&succs[lvl]));
+            for (lvl, succ) in succs.iter().enumerate().take(height) {
+                node.next[lvl].store(Some(succ));
             }
             // Level 0 is the linearization point.
             if !Self::swing(&preds[0], 0, Some(&succs[0]), Some(&node)) {

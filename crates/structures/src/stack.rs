@@ -293,7 +293,10 @@ impl<W: DcasWord> ConcurrentStack for LfrcStack<W> {
                 }
                 None => node.next.store(None),
             }
-            if self.head.compare_and_set_deferred(head.as_ref(), Some(&node)) {
+            if self
+                .head
+                .compare_and_set_deferred(head.as_ref(), Some(&node))
+            {
                 // Success: the old head's location count is parked on the
                 // decrement buffer; `node` drops (its count lives in the
                 // head field now).
@@ -315,7 +318,10 @@ impl<W: DcasWord> ConcurrentStack for LfrcStack<W> {
             };
             let value = head.value; // immutable; validated by the CAS
             let next = head.next.load(); // sound even if `head` died (see ops::load)
-            if self.head.compare_and_set_deferred(Some(&head), next.as_ref()) {
+            if self
+                .head
+                .compare_and_set_deferred(Some(&head), next.as_ref())
+            {
                 // The popped node's count is parked, not destroyed: the
                 // free (and any cascade) happens at the next flush.
                 return Some(value);

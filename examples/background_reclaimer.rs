@@ -30,9 +30,15 @@ impl Links<McasWord> for ChainNode {
 }
 
 fn build_chain(heap: &Heap<ChainNode, McasWord>, len: u64) -> Local<ChainNode, McasWord> {
-    let mut head = heap.alloc(ChainNode { id: 0, next: PtrField::null() });
+    let mut head = heap.alloc(ChainNode {
+        id: 0,
+        next: PtrField::null(),
+    });
     for id in 1..len {
-        let n = heap.alloc(ChainNode { id, next: PtrField::null() });
+        let n = heap.alloc(ChainNode {
+            id,
+            next: PtrField::null(),
+        });
         n.next.store_consume(head);
         head = n;
     }
@@ -69,7 +75,10 @@ fn main() {
         {
             let (heap, backlog, done) = (&heap, &backlog, &done);
             s.spawn(move || {
-                println!("{:>12} {:>16} {:>16}", "chain len", "drop pause", "live after drop");
+                println!(
+                    "{:>12} {:>16} {:>16}",
+                    "chain len", "drop pause", "live after drop"
+                );
                 for len in [1_000u64, 10_000, 100_000, 400_000] {
                     let head = build_chain(heap, len);
                     let start = Instant::now();

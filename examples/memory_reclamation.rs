@@ -19,18 +19,17 @@ fn main() {
     let valois = ValoisStack::new();
     let gc = GcStack::new();
 
-    let footprint = |phase: &str, lfrc: &LfrcStack<McasWord>, valois: &ValoisStack, gc: &GcStack| {
-        println!(
-            "{phase:>18} | lfrc live: {:>6} | valois pool: {:>6} | ebr pending: {:>6}",
-            lfrc.heap().census().live(),
-            valois.pool_nodes(),
-            gc.collector().stats().pending(),
-        );
-    };
+    let footprint =
+        |phase: &str, lfrc: &LfrcStack<McasWord>, valois: &ValoisStack, gc: &GcStack| {
+            println!(
+                "{phase:>18} | lfrc live: {:>6} | valois pool: {:>6} | ebr pending: {:>6}",
+                lfrc.heap().census().live(),
+                valois.pool_nodes(),
+                gc.collector().stats().pending(),
+            );
+        };
 
-    println!(
-        "burst/drain cycles of {BURST} nodes; footprints after each phase\n"
-    );
+    println!("burst/drain cycles of {BURST} nodes; footprints after each phase\n");
     footprint("start", &lfrc, &valois, &gc);
     for cycle in 0..3 {
         for v in 0..BURST {

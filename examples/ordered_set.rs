@@ -32,7 +32,7 @@ fn main() {
                     let id = w * SESSIONS_PER_WORKER + i;
                     assert!(set.insert(id), "fresh id must insert");
                     // Sessions divisible by 10 stay registered forever.
-                    if id % 10 != 0 {
+                    if !id.is_multiple_of(10) {
                         assert!(set.remove(id), "own id must remove");
                     }
                 }
@@ -73,9 +73,15 @@ fn main() {
     });
 
     let expected = WORKERS as u64 * SESSIONS_PER_WORKER / 10;
-    println!("permanent registrations: {} (expected {expected})", set.len());
+    println!(
+        "permanent registrations: {} (expected {expected})",
+        set.len()
+    );
     assert_eq!(set.len() as u64, expected);
-    println!("audit queries answered during churn: {}", audits.load(Ordering::Relaxed));
+    println!(
+        "audit queries answered during churn: {}",
+        audits.load(Ordering::Relaxed)
+    );
 
     // Every id divisible by 10 is in; everything else is out.
     for id in 0..WORKERS as u64 * SESSIONS_PER_WORKER {

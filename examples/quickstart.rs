@@ -36,7 +36,10 @@ fn main() {
     println!("== single-threaded warmup ==");
     // Allocation returns a counted Local (rc = 1). Storing it into the
     // root is LFRCStore: the root takes its own counted reference.
-    let n1 = heap.alloc(Node { value: 1, next: PtrField::null() });
+    let n1 = heap.alloc(Node {
+        value: 1,
+        next: PtrField::null(),
+    });
     head.store(Some(&n1));
     println!("after store: rc(n1) = {}", Local::ref_count(&n1)); // 2
 
@@ -78,7 +81,10 @@ fn main() {
             });
         }
     });
-    println!("pushed {} nodes from {THREADS} threads", pushed.load(Ordering::Relaxed));
+    println!(
+        "pushed {} nodes from {THREADS} threads",
+        pushed.load(Ordering::Relaxed)
+    );
     println!("live objects: {} (+1 warmup node)", heap.census().live());
 
     println!("\n== walk the list with counted loads ==");

@@ -46,9 +46,7 @@ fn demo(d: &dyn ConcurrentDeque) -> u64 {
                 let frozen_now: &'static AtomicBool =
                     unsafe { std::mem::transmute::<&AtomicBool, _>(frozen_now) };
                 HookPause::set_thread_hook(Some(Box::new(move |site| {
-                    if site == PauseSite::PopBeforeDcas
-                        && !frozen.swap(true, Ordering::SeqCst)
-                    {
+                    if site == PauseSite::PopBeforeDcas && !frozen.swap(true, Ordering::SeqCst) {
                         println!("  worker 0: frozen mid-pop …");
                         frozen_now.store(true, Ordering::SeqCst);
                         while !release.load(Ordering::SeqCst) {

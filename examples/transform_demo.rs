@@ -71,7 +71,10 @@ fn main() {
         lfrc.heap().census().live()
     );
 
-    assert_eq!(before, after, "the transformation must not change behaviour");
+    assert_eq!(
+        before, after,
+        "the transformation must not change behaviour"
+    );
     assert_eq!(lfrc.heap().census().live(), 0);
     println!(
         "\nsame checksum, zero live nodes, and no GC anywhere in the\n\

@@ -6,9 +6,7 @@ use std::sync::Arc;
 
 use lfrc_repro::baselines::{LockedDeque, LockedQueue, LockedStack, ValoisStack};
 use lfrc_repro::core::{LockWord, McasWord};
-use lfrc_repro::deque::{
-    ConcurrentDeque, GcSnark, GcSnarkRepaired, LfrcSnark, LfrcSnarkRepaired,
-};
+use lfrc_repro::deque::{ConcurrentDeque, GcSnark, GcSnarkRepaired, LfrcSnark, LfrcSnarkRepaired};
 use lfrc_repro::harness::{run_ops, ConservationChecker, DequeOp, DequeWorkload, Mix};
 use lfrc_repro::structures::{
     ConcurrentQueue, ConcurrentStack, GcQueue, GcStack, LfrcQueue, LfrcStack,
@@ -110,7 +108,11 @@ fn published_variants_conserve_single_consumer_per_end() {
                 s.spawn(move || {
                     let mut idle = 0u32;
                     while c.popped_count() < 8_000 && idle < 2_000_000 {
-                        let v = if side == 0 { dq.pop_left() } else { dq.pop_right() };
+                        let v = if side == 0 {
+                            dq.pop_left()
+                        } else {
+                            dq.pop_right()
+                        };
                         match v {
                             Some(v) => {
                                 c.popped(v);
@@ -128,7 +130,9 @@ fn published_variants_conserve_single_consumer_per_end() {
         while let Some(v) = d.pop_left() {
             checker.popped(v);
         }
-        checker.verify().expect("published variant lost/duplicated values");
+        checker
+            .verify()
+            .expect("published variant lost/duplicated values");
     }
 }
 

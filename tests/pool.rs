@@ -98,8 +98,7 @@ fn explored_schedules_cover_pool_sites_without_canary_hits() {
                         // Fully carve at least one slab, then free every
                         // slot and push the magazines back so the slab
                         // retires mid-schedule.
-                        let nodes: Vec<_> =
-                            (0..25).map(|_| churn_heap.alloc(churn())).collect();
+                        let nodes: Vec<_> = (0..25).map(|_| churn_heap.alloc(churn())).collect();
                         for n in nodes {
                             defer_destroy(n);
                         }
@@ -127,8 +126,16 @@ fn explored_schedules_cover_pool_sites_without_canary_hits() {
 
         shared.store(None);
         flush_thread();
-        assert_eq!(churn_census.rc_on_freed(), 0, "seed {seed}: freed-object rc touch");
-        assert_eq!(read_census.rc_on_freed(), 0, "seed {seed}: freed-object rc touch");
+        assert_eq!(
+            churn_census.rc_on_freed(),
+            0,
+            "seed {seed}: freed-object rc touch"
+        );
+        assert_eq!(
+            read_census.rc_on_freed(),
+            0,
+            "seed {seed}: freed-object rc touch"
+        );
         assert!(
             drain_until(|| churn_census.live() == 0 && read_census.live() == 0),
             "seed {seed}: nodes leaked (churn live={}, read live={})",
@@ -137,7 +144,10 @@ fn explored_schedules_cover_pool_sites_without_canary_hits() {
         );
     }
     for site in ["pool-magazine-hit", "pool-remote-free", "pool-slab-retire"] {
-        assert!(seen.contains(site), "explored schedules never reached {site}; saw {seen:?}");
+        assert!(
+            seen.contains(site),
+            "explored schedules never reached {site}; saw {seen:?}"
+        );
     }
 }
 
@@ -158,7 +168,9 @@ fn thread_exit_drains_magazines_and_releases_slabs() {
         s.spawn(|| {
             // Carve a slab's worth of nodes, then free them: the deferred
             // releases land the slots in *this thread's* magazine…
-            let nodes: Vec<_> = (0..45).map(|_| heap.alloc(ExitNode { _pad: [0; 1500] })).collect();
+            let nodes: Vec<_> = (0..45)
+                .map(|_| heap.alloc(ExitNode { _pad: [0; 1500] }))
+                .collect();
             drop(nodes);
             lfrc_repro::dcas::quiesce();
             // …and the thread exits without flushing. The magazine guard's
@@ -214,7 +226,9 @@ fn slab_footprint_returns_near_baseline_after_churn() {
     let census = Arc::clone(heap.census());
 
     // Grow: enough simultaneous live nodes to span several slabs.
-    let nodes: Vec<_> = (0..500).map(|_| heap.alloc(ShrinkNode { _pad: [0; 400] })).collect();
+    let nodes: Vec<_> = (0..500)
+        .map(|_| heap.alloc(ShrinkNode { _pad: [0; 400] }))
+        .collect();
     let grown = pool::stats();
     assert!(
         grown.slabs_live > base.slabs_live,

@@ -22,9 +22,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use lfrc_repro::core::{DcasWord, Heap, Links, LockWord, McasWord, PtrField, SharedField};
-use lfrc_repro::deque::{
-    ConcurrentDeque, GcSnark, GcSnarkRepaired, LfrcSnark, LfrcSnarkRepaired,
-};
+use lfrc_repro::deque::{ConcurrentDeque, GcSnark, GcSnarkRepaired, LfrcSnark, LfrcSnarkRepaired};
 use lfrc_repro::structures::{ConcurrentQueue, ConcurrentStack, LfrcQueue, LfrcStack};
 use lfrc_sched::{Body, Policy, Schedule, SplitMix64};
 
@@ -326,7 +324,10 @@ fn rc_invariant_under_explored_schedules<W: DcasWord>(seeds: std::ops::Range<u64
         {
             let shared: [SharedField<SchedNode<W>, W>; 2] =
                 [SharedField::null(), SharedField::null()];
-            let seed_node = heap.alloc(SchedNode { id: 0, next: PtrField::null() });
+            let seed_node = heap.alloc(SchedNode {
+                id: 0,
+                next: PtrField::null(),
+            });
             shared[0].store(Some(&seed_node));
             shared[1].store(Some(&seed_node));
             drop(seed_node);
@@ -419,7 +420,10 @@ fn deferred_rc_invariant_under_explored_schedules<W: DcasWord>(seeds: std::ops::
         {
             let shared: [SharedField<SchedNode<W>, W>; 2] =
                 [SharedField::null(), SharedField::null()];
-            let seed_node = heap.alloc(SchedNode { id: 0, next: PtrField::null() });
+            let seed_node = heap.alloc(SchedNode {
+                id: 0,
+                next: PtrField::null(),
+            });
             shared[0].store(Some(&seed_node));
             shared[1].store(Some(&seed_node));
             drop(seed_node);

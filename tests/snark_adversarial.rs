@@ -30,7 +30,7 @@ use std::sync::Barrier;
 
 use lfrc_repro::core::McasWord;
 use lfrc_repro::deque::{ConcurrentDeque, HookPause, LfrcSnark, LfrcSnarkRepaired};
-use lfrc_sched::{Body, Policy, Schedule, SchedPause, Trace};
+use lfrc_sched::{Body, Policy, SchedPause, Schedule, Trace};
 
 /// Sentinel for "this popper got nothing".
 const NONE: u64 = u64::MAX;
@@ -50,9 +50,9 @@ struct Round {
 /// holding exactly one value, raced by a left pop and a right pop. This
 /// is the exact regime of the Doherty et al. defect (each pop reads the
 /// *other* hat stale and both take their non-empty branch).
-fn singleton_race<D: ConcurrentDeque>(make: impl FnOnce() -> D, policy: &Policy) -> Round
+fn singleton_race<D>(make: impl FnOnce() -> D, policy: &Policy) -> Round
 where
-    D: HasCensus,
+    D: ConcurrentDeque + HasCensus,
 {
     const VALUE: u64 = 7;
     let d = make();
@@ -118,7 +118,11 @@ fn scheduled_churn(policy: &Policy, items: u64) -> (Trace, u64, u64, u64) {
                 let mut attempts = 0u64;
                 let mut popped = 0u64;
                 while popped < items && attempts < items * 8 {
-                    let v = if side == 0 { d.pop_left() } else { d.pop_right() };
+                    let v = if side == 0 {
+                        d.pop_left()
+                    } else {
+                        d.pop_right()
+                    };
                     if let Some(v) = v {
                         popped_sum.fetch_add(v, Ordering::Relaxed);
                         popped_n.fetch_add(1, Ordering::Relaxed);
@@ -220,7 +224,10 @@ fn sched_explores_10k_distinct_singleton_schedules() {
         hashes.insert(round.trace.hash);
         seed += 1;
     }
-    println!("explored {} distinct schedules over {seed} seeds", hashes.len());
+    println!(
+        "explored {} distinct schedules over {seed} seeds",
+        hashes.len()
+    );
 }
 
 /// The replay acceptance-criteria test: rerunning a seed reproduces a
@@ -241,7 +248,10 @@ fn sched_seed_replay_is_bit_identical() {
             a.trace.hash, b.trace.hash,
             "seed {seed}: trace hash diverged between identical runs"
         );
-        assert_eq!(a.trace.events, b.trace.events, "seed {seed}: event sequences diverged");
+        assert_eq!(
+            a.trace.events, b.trace.events,
+            "seed {seed}: event sequences diverged"
+        );
         assert_eq!(a.got, b.got, "seed {seed}: pop outcomes diverged");
     }
 }
@@ -270,7 +280,10 @@ fn sched_published_is_exercised_and_violations_reported() {
     let mut violations = 0u64;
     for seed in 0..ROUNDS {
         let outcome = std::panic::catch_unwind(|| {
-            singleton_race(LfrcSnark::<McasWord, SchedPause>::new, &Policy::Random(seed))
+            singleton_race(
+                LfrcSnark::<McasWord, SchedPause>::new,
+                &Policy::Random(seed),
+            )
         });
         match outcome {
             Ok(round) => {
@@ -537,7 +550,11 @@ fn round(d: &dyn ConcurrentDeque, items: u64, seed: u64) -> (u64, u64, u64) {
                 barrier.wait();
                 let mut idle = 0u32;
                 while idle < 15_000 {
-                    let v = if side == 0 { d.pop_left() } else { d.pop_right() };
+                    let v = if side == 0 {
+                        d.pop_left()
+                    } else {
+                        d.pop_right()
+                    };
                     match v {
                         Some(v) => {
                             popped_sum.fetch_add(v, Ordering::Relaxed);

@@ -14,7 +14,9 @@ use std::time::{Duration, Instant};
 
 use lfrc_repro::core::McasWord;
 use lfrc_repro::deque::{ConcurrentDeque, LfrcSnarkRepaired};
-use lfrc_repro::structures::{ConcurrentQueue, ConcurrentStack, LfrcQueue, LfrcSkipList, LfrcStack};
+use lfrc_repro::structures::{
+    ConcurrentQueue, ConcurrentStack, LfrcQueue, LfrcSkipList, LfrcStack,
+};
 
 /// Per-test wall-clock budget: 2 s by default, 60 s when `LFRC_SOAK=1`.
 fn soak_duration() -> Duration {
@@ -61,7 +63,7 @@ fn deque_soak_conserves_and_reclaims() {
                     }
                     i += 1;
                     // Bounded footprint even under push-heavy drift.
-                    if i % 10_000 == 0 {
+                    if i.is_multiple_of(10_000) {
                         while d.pop_left().is_some() {
                             popped.fetch_add(1, Ordering::Relaxed);
                         }
