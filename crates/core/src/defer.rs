@@ -240,6 +240,26 @@ pub fn pending_decrements() -> usize {
     pending()
 }
 
+/// Removes one parked decrement for the object `p`, if any, handing its
+/// count unit to the caller. Used by
+/// [`IncLocal::promote`](crate::inc::IncLocal::promote) to annihilate a
+/// pending increment against a pending decrement on the same object —
+/// the pair cancels with no count traffic at all. Entries for the same
+/// object are fungible (each owns exactly one unit), so removing the
+/// most recent match is always correct.
+pub(crate) fn take_parked_decrement(p: *mut ()) -> bool {
+    BUFFER.with(|b| {
+        let mut buf = b.borrow_mut();
+        match buf.entries.iter().rposition(|e| e.ptr == p) {
+            Some(i) => {
+                buf.entries.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    })
+}
+
 /// Witness that the calling thread is pinned in the reclamation epoch.
 ///
 /// Only [`pinned`] creates one; holding `&Pin` proves freed-but-borrowed
@@ -265,6 +285,12 @@ impl fmt::Debug for Pin {
 /// escaping the scope.
 pub fn pinned<R>(f: impl FnOnce(&Pin) -> R) -> R {
     lfrc_dcas::with_guard(|_guard| {
+        // The settle guard bounds every pending increment (`crate::inc`)
+        // to its pinning epoch: when the outermost scope exits — normal
+        // return or panic unwind, in either case still inside the guard —
+        // any increments not already resolved by their `IncLocal`s are
+        // settled before the pin is released.
+        let _settle = crate::inc::SettleGuard::enter();
         let pin = Pin {
             _not_send: PhantomData,
         };

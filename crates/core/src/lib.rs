@@ -40,6 +40,11 @@
 //!   [`PtrField::load_deferred`]/[`Local::borrow`]) and a per-thread
 //!   decrement buffer ([`defer_destroy`]/[`flush_thread`]) that batches
 //!   `LFRCDestroy` under one epoch guard.
+//! * [`inc`] — the deferred-**increment** strategy (DESIGN.md §5.13):
+//!   a counted load inside a pin becomes a plain load plus a pending
+//!   thread-local `+1` ([`IncLocal`]), settled before the pinning epoch
+//!   may expire; [`strategy`] selects between the three load protocols
+//!   per structure instance.
 //! * [`diag`] — allocation census, freed-object canaries, and a
 //!   quarantine mode used by the safety experiments.
 //!
@@ -91,20 +96,24 @@ pub mod audit;
 pub mod defer;
 pub mod destroy;
 pub mod diag;
+pub mod inc;
 pub mod llsc;
 pub mod local;
 pub mod object;
 pub mod ops;
 pub mod shared;
+pub mod strategy;
 
 pub use audit::{audit, AuditReport};
 pub use defer::{defer_destroy, flush_thread, pending, pinned, Borrowed, Pin};
 pub use destroy::{Backlog, StepStats};
 pub use diag::Census;
+pub use inc::{pending_increments, settle_thread, IncLocal};
 pub use llsc::LinkedPtrField;
 pub use local::Local;
 pub use object::{Backend, Heap, LfrcBox, Links, PtrField};
 pub use shared::SharedField;
+pub use strategy::Strategy;
 
 // Re-exported so downstream crates name the substrate through one path.
 pub use lfrc_dcas::{DcasWord, LockWord, McasWord};

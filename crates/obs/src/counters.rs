@@ -96,11 +96,28 @@ pub enum Counter {
     PoolSlabRetire,
     /// High-water mark of simultaneously live (mapped, unretired) slabs.
     PoolSlabsLiveHighWater,
+    /// DeferredInc: pending increments appended to a thread's increment
+    /// buffer (a counted load on the deferred-increment strategy).
+    DeferredIncAppend,
+    /// DeferredInc: pending increments folded into their object's count
+    /// at settle (pin-scope exit).
+    DeferredIncSettle,
+    /// DeferredInc: pending increments annihilated before settle — either
+    /// against the handle's own release or against a parked decrement in
+    /// the thread's decrement buffer (no rc traffic at all).
+    DeferredIncCancel,
+    /// DeferredInc: count releases epoch-retired (grace-deferred) instead
+    /// of applied eagerly — displaced field occupants and post-settle
+    /// handle drops.
+    DeferredIncRetire,
+    /// Epoch advances refused by a registered advance gate (unsettled
+    /// deferred increments outstanding).
+    EpochAdvanceGated,
 }
 
 impl Counter {
     /// Every variant, in discriminant order (the shard layout).
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 34] = [
         Counter::LoadDcasAttempt,
         Counter::LoadDcasRetry,
         Counter::LoadDeferred,
@@ -130,6 +147,11 @@ impl Counter {
         Counter::PoolSlabAlloc,
         Counter::PoolSlabRetire,
         Counter::PoolSlabsLiveHighWater,
+        Counter::DeferredIncAppend,
+        Counter::DeferredIncSettle,
+        Counter::DeferredIncCancel,
+        Counter::DeferredIncRetire,
+        Counter::EpochAdvanceGated,
     ];
 
     /// Stable snake_case metric name (JSON key; Prometheus name after the
@@ -165,6 +187,11 @@ impl Counter {
             Counter::PoolSlabAlloc => "pool_slab_allocs",
             Counter::PoolSlabRetire => "pool_slab_retires",
             Counter::PoolSlabsLiveHighWater => "pool_slabs_live",
+            Counter::DeferredIncAppend => "deferred_inc_appends",
+            Counter::DeferredIncSettle => "deferred_inc_settles",
+            Counter::DeferredIncCancel => "deferred_inc_cancels",
+            Counter::DeferredIncRetire => "deferred_inc_retires",
+            Counter::EpochAdvanceGated => "epoch_advance_gated",
         }
     }
 

@@ -97,6 +97,24 @@ pub enum InstrSite {
     /// that dies just *after* leaves a descriptor only helping can
     /// resolve — both halves of the paper's "failed thread" story.
     DescAlloc,
+    /// Deferred-increment counted load (`Strategy::DeferredInc`): the
+    /// plain pointer read has happened but the pending increment has not
+    /// yet been appended — the widest version of the CAS-only gap of §1,
+    /// made safe by the pin plus settle-before-epoch-expiry.
+    IncLoad,
+    /// Deferred increment: a pending increment is about to be appended to
+    /// the calling thread's increment buffer (the count exists only in
+    /// TLS from here until settle).
+    IncAppend,
+    /// Deferred increment: the pin scope is ending and the buffered
+    /// increments are about to be folded into their objects' counts
+    /// (after cancelling against pending decrements).
+    IncSettle,
+    /// Deferred increment: a count release on the DeferredInc path is
+    /// about to be epoch-retired (grace-deferred) instead of applied
+    /// eagerly — the disposal discipline that keeps pending increments
+    /// covered.
+    IncRetire,
 }
 
 impl InstrSite {
@@ -121,6 +139,10 @@ impl InstrSite {
             InstrSite::PoolRemoteFree => 16,
             InstrSite::PoolSlabRetire => 17,
             InstrSite::DescAlloc => 18,
+            InstrSite::IncLoad => 19,
+            InstrSite::IncAppend => 20,
+            InstrSite::IncSettle => 21,
+            InstrSite::IncRetire => 22,
         }
     }
 
@@ -145,12 +167,16 @@ impl InstrSite {
             InstrSite::PoolRemoteFree => "pool-remote-free",
             InstrSite::PoolSlabRetire => "pool-slab-retire",
             InstrSite::DescAlloc => "desc-alloc",
+            InstrSite::IncLoad => "inc-load",
+            InstrSite::IncAppend => "inc-append",
+            InstrSite::IncSettle => "inc-settle",
+            InstrSite::IncRetire => "inc-retire",
         }
     }
 
     /// Every instrumented site, in tag order. Fault-injection sweeps
     /// iterate this to prove each site is actually reachable.
-    pub const ALL: [InstrSite; 18] = [
+    pub const ALL: [InstrSite; 22] = [
         InstrSite::LoadDcasWindow,
         InstrSite::DestroyDecrement,
         InstrSite::RdcssInstalled,
@@ -169,6 +195,10 @@ impl InstrSite {
         InstrSite::PoolRemoteFree,
         InstrSite::PoolSlabRetire,
         InstrSite::DescAlloc,
+        InstrSite::IncLoad,
+        InstrSite::IncAppend,
+        InstrSite::IncSettle,
+        InstrSite::IncRetire,
     ];
 
     /// Whether this site fires from inside the slab pool.

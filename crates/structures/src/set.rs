@@ -29,10 +29,27 @@
 //!
 //! Garbage is cycle-free: an unlinked node's `next` points forward into
 //! the list, so step 3 of the methodology holds with no modification.
+//!
+//! # Load strategies
+//!
+//! The set honours a per-instance [`Strategy`] (DESIGN.md §5.13):
+//!
+//! * writers (`find`/`insert`/`remove`) always use counted `LFRCLoad`s —
+//!   they hold references across DCAS swings, where counted locals are
+//!   the natural idiom under every strategy;
+//! * under [`Strategy::DeferredInc`] the unlink `swing` routes its
+//!   displaced reference through
+//!   [`dcas_ptr_word_retire`](lfrc_core::ops::dcas_ptr_word_retire), so
+//!   every displaced field unit is grace-retired — the cover invariant
+//!   that lets the read path skip validation entirely;
+//! * `contains` picks its traversal by strategy: counted hops
+//!   (`Dcas`/`DeferredDec`) or pin-scoped deferred-increment hops
+//!   (`DeferredInc`, one plain load + TLS append per hop).
 
 use std::fmt;
 
-use lfrc_core::{DcasWord, Heap, Links, Local, PtrField, SharedField};
+use lfrc_core::defer;
+use lfrc_core::{DcasWord, Heap, Links, Local, PtrField, SharedField, Strategy};
 
 /// Keys are `u64` strictly below this bound (one value is reserved for
 /// the tail sentinel).
@@ -93,12 +110,14 @@ impl<W: DcasWord> fmt::Debug for SetNode<W> {
 pub struct LfrcOrderedSet<W: DcasWord> {
     head: SharedField<SetNode<W>, W>,
     heap: Heap<SetNode<W>, W>,
+    strategy: Strategy,
 }
 
 impl<W: DcasWord> fmt::Debug for LfrcOrderedSet<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LfrcOrderedSet")
             .field("census", self.heap.census())
+            .field("strategy", &self.strategy)
             .finish()
     }
 }
@@ -110,8 +129,14 @@ impl<W: DcasWord> Default for LfrcOrderedSet<W> {
 }
 
 impl<W: DcasWord> LfrcOrderedSet<W> {
-    /// Creates an empty set (two sentinel nodes).
+    /// Creates an empty set (two sentinel nodes) with the default
+    /// [`Strategy`].
     pub fn new() -> Self {
+        Self::with_strategy(Strategy::default())
+    }
+
+    /// Creates an empty set using `strategy` for its load protocol.
+    pub fn with_strategy(strategy: Strategy) -> Self {
         let heap: Heap<SetNode<W>, W> = Heap::new();
         let tail = heap.alloc(SetNode {
             key: TAIL_KEY,
@@ -127,6 +152,7 @@ impl<W: DcasWord> LfrcOrderedSet<W> {
         let set = LfrcOrderedSet {
             head: SharedField::null(),
             heap,
+            strategy,
         };
         set.head.store_consume(head_node);
         set
@@ -137,10 +163,22 @@ impl<W: DcasWord> LfrcOrderedSet<W> {
         &self.heap
     }
 
+    /// The load strategy this instance was built with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
     /// Atomically swings `pred.next` from `curr` to `new` while
     /// validating that `pred` is still unmarked — the DCAS that replaces
     /// Harris's pointer tagging.
+    ///
+    /// Under [`Strategy::DeferredInc`] the displaced reference (`curr`)
+    /// is released through the grace-period retire queue instead of
+    /// eagerly: a pending `+1` appended by a pinned reader is *covered*
+    /// by the field unit we displace here, so that unit must outlive
+    /// every pin that could have observed it (§5.13).
     fn swing(
+        &self,
         pred: &Local<SetNode<W>, W>,
         curr: Option<&Local<SetNode<W>, W>>,
         new: Option<&Local<SetNode<W>, W>>,
@@ -150,14 +188,25 @@ impl<W: DcasWord> LfrcOrderedSet<W> {
         // `dcas_ptr_word` requires; `curr`/`new` are caller-held counted
         // references (or null).
         unsafe {
-            lfrc_core::ops::dcas_ptr_word(
-                &pred.next,
-                &pred.marked,
-                Local::option_as_raw(curr),
-                0,
-                Local::option_as_raw(new),
-                0,
-            )
+            if self.strategy == Strategy::DeferredInc {
+                lfrc_core::ops::dcas_ptr_word_retire(
+                    &pred.next,
+                    &pred.marked,
+                    Local::option_as_raw(curr),
+                    0,
+                    Local::option_as_raw(new),
+                    0,
+                )
+            } else {
+                lfrc_core::ops::dcas_ptr_word(
+                    &pred.next,
+                    &pred.marked,
+                    Local::option_as_raw(curr),
+                    0,
+                    Local::option_as_raw(new),
+                    0,
+                )
+            }
         }
     }
 
@@ -172,7 +221,7 @@ impl<W: DcasWord> LfrcOrderedSet<W> {
                 // Help: physically remove logically deleted nodes.
                 while curr.marked.load() == 1 {
                     let succ = curr.next.load().expect("marked node precedes tail");
-                    if !Self::swing(&pred, Some(&curr), Some(&succ)) {
+                    if !self.swing(&pred, Some(&curr), Some(&succ)) {
                         // pred moved on or got marked: restart.
                         continue 'retry;
                     }
@@ -202,7 +251,7 @@ impl<W: DcasWord> LfrcOrderedSet<W> {
                 next: PtrField::null(),
             });
             node.next.store(Some(&curr));
-            if Self::swing(&pred, Some(&curr), Some(&node)) {
+            if self.swing(&pred, Some(&curr), Some(&node)) {
                 return true;
             }
             // Lost a race: `node` drops here and is freed immediately.
@@ -226,20 +275,52 @@ impl<W: DcasWord> LfrcOrderedSet<W> {
             }
             // Best-effort physical unlink; finds will help if we fail.
             let succ = curr.next.load().expect("marked node precedes tail");
-            let _ = Self::swing(&pred, Some(&curr), Some(&succ));
+            let _ = self.swing(&pred, Some(&curr), Some(&succ));
             return true;
         }
     }
 
     /// Membership test (read-only traversal; does not help unlink).
+    ///
+    /// Dispatches on the instance [`Strategy`]: counted `LFRCLoad` hops
+    /// for `Dcas`/`DeferredDec`, deferred-increment hops (§5.13) for
+    /// `DeferredInc`.
     pub fn contains(&self, key: u64) -> bool {
         let ekey = encode_key(key);
+        if self.strategy == Strategy::DeferredInc {
+            self.contains_inc(ekey)
+        } else {
+            self.contains_dcas(ekey)
+        }
+    }
+
+    fn contains_dcas(&self, ekey: u64) -> bool {
         let mut curr = self.head.load().expect("head sentinel");
         while curr.key < ekey {
             let next = curr.next.load().expect("tail terminates");
             curr = next;
         }
         curr.key == ekey && curr.marked.load() == 0
+    }
+
+    /// Deferred-increment traversal: one plain load + one thread-local
+    /// append per hop, no DCAS, no count traffic.
+    ///
+    /// No validation and no restarts: on an exclusively-`DeferredInc`
+    /// instance every displaced field unit is grace-retired (see
+    /// [`swing`](Self::swing)), so any node reached inside this pin stays
+    /// allocated with `rc ≥ 1` for the whole pin and a null link is
+    /// always a genuine tail — unlike the §5.9 uncounted path, which must
+    /// re-check `ref_count` after every suspicious read.
+    fn contains_inc(&self, ekey: u64) -> bool {
+        defer::pinned(|pin| {
+            let mut curr = self.head.load_counted_inc(pin).expect("head sentinel");
+            while curr.key < ekey {
+                let next = curr.next.load_counted_inc(pin).expect("tail terminates");
+                curr = next;
+            }
+            curr.key == ekey && curr.marked.load() == 0
+        })
     }
 
     /// Number of live (unmarked, reachable) keys — O(n) diagnostic.
@@ -384,6 +465,92 @@ mod tests {
             net.load(Ordering::Relaxed),
             "successful inserts minus removes must equal final size"
         );
+    }
+
+    /// Under `Strategy::DeferredInc` the logical free happens inside a
+    /// grace-retired destroy, so the census drains only after the epoch
+    /// advances — drive it with a bounded flush/quiesce loop.
+    #[track_caller]
+    fn assert_census_drains(census: &lfrc_core::Census) {
+        let t0 = std::time::Instant::now();
+        while census.live() != 0 && t0.elapsed() < std::time::Duration::from_secs(10) {
+            lfrc_core::defer::flush_thread();
+            lfrc_dcas::quiesce();
+            std::thread::yield_now();
+        }
+        assert_eq!(census.live(), 0, "census did not drain");
+    }
+
+    #[test]
+    fn lfrc_set_every_strategy_sequential() {
+        for strategy in Strategy::ALL {
+            let s: LfrcOrderedSet<McasWord> = LfrcOrderedSet::with_strategy(strategy);
+            assert_eq!(s.strategy(), strategy);
+            assert!(s.is_empty());
+            assert!(s.insert(10));
+            assert!(s.insert(5));
+            assert!(s.insert(20));
+            assert!(!s.insert(10), "duplicate insert must fail ({strategy})");
+            assert_eq!(s.len(), 3);
+            assert!(s.contains(5) && s.contains(10) && s.contains(20));
+            assert!(!s.contains(15));
+            assert!(s.remove(10));
+            assert!(!s.remove(10), "double remove must fail ({strategy})");
+            assert!(!s.contains(10));
+            assert_eq!(s.len(), 2);
+            let census = std::sync::Arc::clone(s.heap().census());
+            drop(s);
+            assert_census_drains(&census);
+        }
+    }
+
+    #[test]
+    fn lfrc_set_deferred_inc_concurrent_contention() {
+        // Same contended workload as the default-strategy test, with
+        // readers on the deferred-increment traversal racing the
+        // grace-retired unlinks.
+        const THREADS: usize = 4;
+        const OPS: u64 = 1_500;
+        const KEYS: u64 = 8;
+        let s: LfrcOrderedSet<McasWord> = LfrcOrderedSet::with_strategy(Strategy::DeferredInc);
+        let census = std::sync::Arc::clone(s.heap().census());
+        let net = AtomicU64::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (s, net, barrier) = (&s, &net, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut x = t as u64 * 7919 + 1;
+                    for _ in 0..OPS {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % KEYS;
+                        match x % 3 {
+                            0 => {
+                                if s.insert(k) {
+                                    net.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            1 => {
+                                if s.remove(k) {
+                                    net.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
+                            _ => {
+                                let _ = s.contains(k);
+                            }
+                        }
+                    }
+                    lfrc_core::settle_thread();
+                    lfrc_core::defer::flush_thread();
+                });
+            }
+        });
+        assert_eq!(s.len() as u64, net.load(Ordering::Relaxed));
+        drop(s);
+        assert_census_drains(&census);
     }
 
     #[test]

@@ -15,9 +15,19 @@
 //!   linearization point), then index the upper levels best-effort;
 //! * `remove` — CAS the mark (linearization point), then best-effort
 //!   unlink at every level (finds help);
-//! * `contains` — top-down descent on the deferred fast path (plain
-//!   loads under a pin, rc-validated — DESIGN.md §5.9), with
-//!   [`SkipList::contains_counted`] as the per-hop-`LFRCLoad` baseline.
+//! * `contains` — top-down descent whose load protocol follows the
+//!   instance [`Strategy`]: the §5.9 deferred fast path (plain loads
+//!   under a pin, rc-validated) for `DeferredDec`, the §5.13
+//!   deferred-increment path (plain loads + TLS pending `+1`, *no*
+//!   validation) for `DeferredInc`, and
+//!   [`contains_counted`](LfrcSkipList::contains_counted) — one
+//!   `LFRCLoad` DCAS per hop — for `Dcas`.
+//!
+//! Under `DeferredInc` every `swing` routes its displaced reference
+//! through the grace-period retire queue
+//! ([`dcas_ptr_word_retire`](lfrc_core::ops::dcas_ptr_word_retire)); that
+//! cover invariant is what lets the increment-strategy descent drop the
+//! rc-validation restarts.
 //!
 //! Garbage stays cycle-free: all tower pointers aim forward (toward
 //! larger keys), so step 3 of the methodology holds untouched.
@@ -25,7 +35,7 @@
 use std::fmt;
 
 use lfrc_core::defer::{self, Borrowed};
-use lfrc_core::{DcasWord, Heap, Links, Local, PtrField, SharedField};
+use lfrc_core::{DcasWord, Heap, Links, Local, PtrField, SharedField, Strategy};
 
 use crate::set::MAX_KEY;
 
@@ -99,12 +109,14 @@ pub struct LfrcSkipList<W: DcasWord> {
     head: SharedField<SkipNode<W>, W>,
     heap: Heap<SkipNode<W>, W>,
     seed: std::sync::atomic::AtomicU64,
+    strategy: Strategy,
 }
 
 impl<W: DcasWord> fmt::Debug for LfrcSkipList<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LfrcSkipList")
             .field("census", self.heap.census())
+            .field("strategy", &self.strategy)
             .finish()
     }
 }
@@ -118,8 +130,14 @@ impl<W: DcasWord> Default for LfrcSkipList<W> {
 type NodeRef<W> = Local<SkipNode<W>, W>;
 
 impl<W: DcasWord> LfrcSkipList<W> {
-    /// Creates an empty skip list (full-height head and tail sentinels).
+    /// Creates an empty skip list (full-height head and tail sentinels)
+    /// with the default [`Strategy`].
     pub fn new() -> Self {
+        Self::with_strategy(Strategy::default())
+    }
+
+    /// Creates an empty skip list using `strategy` for its load protocol.
+    pub fn with_strategy(strategy: Strategy) -> Self {
         let heap: Heap<SkipNode<W>, W> = Heap::new();
         let tail = heap.alloc(SkipNode::new(TAIL_KEY, MAX_HEIGHT));
         let head_node = heap.alloc(SkipNode::new(HEAD_KEY, MAX_HEIGHT));
@@ -131,6 +149,7 @@ impl<W: DcasWord> LfrcSkipList<W> {
             head: SharedField::null(),
             heap,
             seed: std::sync::atomic::AtomicU64::new(0x853c49e6748fea9b),
+            strategy,
         };
         list.head.store_consume(head_node);
         list
@@ -139,6 +158,11 @@ impl<W: DcasWord> LfrcSkipList<W> {
     /// The heap (census inspection).
     pub fn heap(&self) -> &Heap<SkipNode<W>, W> {
         &self.heap
+    }
+
+    /// The load strategy this instance was built with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
     }
 
     /// Geometric tower height in `1..=MAX_HEIGHT` (p = 1/2).
@@ -153,7 +177,14 @@ impl<W: DcasWord> LfrcSkipList<W> {
 
     /// Swings `pred.next[lvl]` from `curr` to `new` iff `pred` is
     /// unmarked — the DCAS that replaces per-level pointer marks.
+    ///
+    /// Under [`Strategy::DeferredInc`] the displaced reference is
+    /// grace-retired instead of eagerly released: a pinned reader's
+    /// pending `+1` on `curr` may be covered by exactly the field unit
+    /// this swing displaces, so the unit must outlive every pin that
+    /// could have observed it (§5.13 cover invariant).
     fn swing(
+        &self,
         pred: &NodeRef<W>,
         lvl: usize,
         curr: Option<&NodeRef<W>>,
@@ -162,14 +193,25 @@ impl<W: DcasWord> LfrcSkipList<W> {
         // Safety: `pred` is a counted reference (its cells are alive);
         // `curr`/`new` are caller-held counted references or null.
         unsafe {
-            lfrc_core::ops::dcas_ptr_word(
-                &pred.next[lvl],
-                &pred.marked,
-                Local::option_as_raw(curr),
-                0,
-                Local::option_as_raw(new),
-                0,
-            )
+            if self.strategy == Strategy::DeferredInc {
+                lfrc_core::ops::dcas_ptr_word_retire(
+                    &pred.next[lvl],
+                    &pred.marked,
+                    Local::option_as_raw(curr),
+                    0,
+                    Local::option_as_raw(new),
+                    0,
+                )
+            } else {
+                lfrc_core::ops::dcas_ptr_word(
+                    &pred.next[lvl],
+                    &pred.marked,
+                    Local::option_as_raw(curr),
+                    0,
+                    Local::option_as_raw(new),
+                    0,
+                )
+            }
         }
     }
 
@@ -199,7 +241,7 @@ impl<W: DcasWord> LfrcSkipList<W> {
                             Some(s) => s,
                             None => continue 'retry,
                         };
-                        if !Self::swing(&pred, lvl, Some(&curr), Some(&succ)) {
+                        if !self.swing(&pred, lvl, Some(&curr), Some(&succ)) {
                             continue 'retry;
                         }
                         curr = succ;
@@ -240,7 +282,7 @@ impl<W: DcasWord> LfrcSkipList<W> {
                 node.next[lvl].store(Some(succ));
             }
             // Level 0 is the linearization point.
-            if !Self::swing(&preds[0], 0, Some(&succs[0]), Some(&node)) {
+            if !self.swing(&preds[0], 0, Some(&succs[0]), Some(&node)) {
                 continue; // node drops and is freed; retry from scratch
             }
             // Index the upper levels (best-effort; re-find on conflict).
@@ -258,8 +300,13 @@ impl<W: DcasWord> LfrcSkipList<W> {
                         break; // someone (or an earlier pass) linked it
                     }
                     // Retarget this level's forward pointer, then link.
+                    // This store may displace an earlier retarget's
+                    // reference eagerly — safe under every strategy:
+                    // `node.next[lvl]` is unreachable to readers until
+                    // the swing below publishes it at this level, so the
+                    // displaced unit covers no pending increment.
                     node.next[lvl].store(Some(&succs[lvl]));
-                    if Self::swing(&preds[lvl], lvl, Some(&succs[lvl]), Some(&node)) {
+                    if self.swing(&preds[lvl], lvl, Some(&succs[lvl]), Some(&node)) {
                         break;
                     }
                 }
@@ -289,6 +336,22 @@ impl<W: DcasWord> LfrcSkipList<W> {
         }
     }
 
+    /// Membership test, dispatching on the instance [`Strategy`]:
+    ///
+    /// * `Dcas` → [`contains_counted`](Self::contains_counted) (one
+    ///   `LFRCLoad` DCAS per hop, the paper-faithful baseline);
+    /// * `DeferredDec` → the §5.9 uncounted fast path (plain loads,
+    ///   rc-validated, restart on suspicion);
+    /// * `DeferredInc` → the §5.13 deferred-increment path (plain loads
+    ///   plus a thread-local pending `+1` per hop, no validation at all).
+    pub fn contains(&self, key: u64) -> bool {
+        match self.strategy {
+            Strategy::Dcas => self.contains_counted(key),
+            Strategy::DeferredDec => self.contains_deferred(key),
+            Strategy::DeferredInc => self.contains_inc(key),
+        }
+    }
+
     /// Membership test — the deferred fast path (DESIGN.md §5.9).
     ///
     /// The whole traversal runs inside one [`defer::pinned`] scope with
@@ -305,7 +368,7 @@ impl<W: DcasWord> LfrcSkipList<W> {
     ///
     /// Keys are immutable payload (readable even on a freed node), so the
     /// comparisons in between need no validation of their own.
-    pub fn contains(&self, key: u64) -> bool {
+    pub fn contains_deferred(&self, key: u64) -> bool {
         let ekey = encode_key(key);
         defer::pinned(|pin| 'restart: loop {
             let Some(mut pred) = self.head.load_deferred(pin) else {
@@ -345,8 +408,45 @@ impl<W: DcasWord> LfrcSkipList<W> {
         })
     }
 
+    /// Membership test on the deferred-increment path (DESIGN.md §5.13):
+    /// a plain load plus one thread-local pending-`+1` append per hop.
+    ///
+    /// No `ref_count` validation and no restarts, unlike
+    /// [`contains_deferred`]: on an exclusively-`DeferredInc` instance
+    /// every displaced field unit is grace-retired (see
+    /// [`swing`](Self::swing)), so a node reached inside this pin keeps
+    /// `rc ≥ 1` for the whole pin and a null link is always a genuine
+    /// tail / unlinked level — never a harvested field on a freed node.
+    pub fn contains_inc(&self, key: u64) -> bool {
+        let ekey = encode_key(key);
+        defer::pinned(|pin| {
+            let Some(mut pred) = self.head.load_counted_inc(pin) else {
+                return false; // only during teardown
+            };
+            for lvl in (0..MAX_HEIGHT).rev() {
+                let mut curr = match pred.next[lvl].load_counted_inc(pin) {
+                    Some(c) => c,
+                    None => continue, // genuinely unlinked level: descend
+                };
+                while curr.key < ekey {
+                    let next = match curr.next[lvl].load_counted_inc(pin) {
+                        Some(n) => n,
+                        None => break, // genuine end of this level
+                    };
+                    pred = curr;
+                    curr = next;
+                }
+                if curr.key == ekey {
+                    return curr.marked.load() == 0;
+                }
+            }
+            false
+        })
+    }
+
     /// Membership test via counted loads (`LFRCLoad` per hop) — the
-    /// baseline [`contains`] is measured against in experiment E10.
+    /// baseline the deferred paths are measured against in experiment
+    /// E10.
     pub fn contains_counted(&self, key: u64) -> bool {
         let ekey = encode_key(key);
         let mut pred = self.head.load().expect("head sentinel");
@@ -561,6 +661,91 @@ mod tests {
             });
         });
         assert!(s.contains(STABLE));
+    }
+
+    /// Under `Strategy::DeferredInc` the logical free happens inside a
+    /// grace-retired destroy, so the census drains only after the epoch
+    /// advances — drive it with a bounded flush/quiesce loop.
+    #[track_caller]
+    fn assert_census_drains(census: &lfrc_core::Census) {
+        let t0 = std::time::Instant::now();
+        while census.live() != 0 && t0.elapsed() < std::time::Duration::from_secs(10) {
+            lfrc_core::defer::flush_thread();
+            lfrc_dcas::quiesce();
+            std::thread::yield_now();
+        }
+        assert_eq!(census.live(), 0, "census did not drain");
+    }
+
+    #[test]
+    fn lfrc_skiplist_every_strategy_sequential() {
+        for strategy in Strategy::ALL {
+            let s: LfrcSkipList<McasWord> = LfrcSkipList::with_strategy(strategy);
+            assert_eq!(s.strategy(), strategy);
+            for k in [50, 10, 90, 30, 70] {
+                assert!(s.insert(k), "{strategy}");
+            }
+            assert!(!s.insert(50), "{strategy}");
+            assert_eq!(s.len(), 5);
+            for k in [10, 30, 50, 70, 90] {
+                assert!(s.contains(k), "{strategy}: key {k}");
+            }
+            assert!(!s.contains(40), "{strategy}");
+            assert!(s.remove(50), "{strategy}");
+            assert!(!s.contains(50), "{strategy}");
+            // All three traversal protocols agree on a quiescent list.
+            for k in 0..100u64 {
+                assert_eq!(s.contains_counted(k), s.contains_deferred(k), "key {k}");
+                assert_eq!(s.contains_counted(k), s.contains_inc(k), "key {k}");
+            }
+            let census = std::sync::Arc::clone(s.heap().census());
+            drop(s);
+            assert_census_drains(&census);
+        }
+    }
+
+    #[test]
+    fn lfrc_skiplist_deferred_inc_contains_survives_concurrent_churn() {
+        // The §5.13 traversal races inserts/removes whose unlinks are
+        // grace-retired; stable keys must never be lost and nothing may
+        // trip a canary (the cover invariant keeps every visited node
+        // alive for the duration of the pin).
+        const STABLE: u64 = 999;
+        let s: LfrcSkipList<McasWord> = LfrcSkipList::with_strategy(Strategy::DeferredInc);
+        let census = std::sync::Arc::clone(s.heap().census());
+        s.insert(STABLE);
+        let barrier = Barrier::new(3);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let (s, barrier) = (&s, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..60 {
+                        for k in 0..48u64 {
+                            s.insert(k);
+                        }
+                        for k in 0..48u64 {
+                            s.remove(k);
+                        }
+                    }
+                    lfrc_core::settle_thread();
+                    lfrc_core::defer::flush_thread();
+                });
+            }
+            let (s, barrier) = (&s, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..4_000 {
+                    assert!(s.contains(STABLE), "stable key lost mid-churn");
+                    let _ = s.contains(17); // churned key: any answer is fine
+                }
+                lfrc_core::settle_thread();
+                lfrc_core::defer::flush_thread();
+            });
+        });
+        assert!(s.contains(STABLE));
+        drop(s);
+        assert_census_drains(&census);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
 use lfrc_core::defer::{self, Borrowed};
-use lfrc_core::{DcasWord, Heap, Links, PtrField, SharedField};
+use lfrc_core::{DcasWord, Heap, IncLocal, Links, Local, PtrField, SharedField, Strategy};
 use lfrc_reclaim::{Collector, LocalHandle};
 
 /// A concurrent LIFO stack of `u64` values.
@@ -232,6 +232,7 @@ impl<W: DcasWord> fmt::Debug for LfrcStackNode<W> {
 pub struct LfrcStack<W: DcasWord> {
     head: SharedField<LfrcStackNode<W>, W>,
     heap: Heap<LfrcStackNode<W>, W>,
+    strategy: Strategy,
 }
 
 impl<W: DcasWord> fmt::Debug for LfrcStack<W> {
@@ -258,9 +259,25 @@ impl<W: DcasWord> LfrcStack<W> {
     /// backend — `Pooled` (the default) or `Global`. Experiment E12
     /// benches the two against each other.
     pub fn with_backend(backend: lfrc_core::Backend) -> Self {
+        Self::with_backend_and_strategy(backend, Strategy::default())
+    }
+
+    /// Creates an empty stack using the given counted-load
+    /// [`Strategy`]. The choice is fixed for the instance's lifetime —
+    /// the `DeferredInc` safety argument requires every displacing
+    /// operation of the instance to grace-retire, so strategies never
+    /// mix on one stack.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        Self::with_backend_and_strategy(lfrc_core::Backend::default(), strategy)
+    }
+
+    /// Creates an empty stack with both an explicit backend and an
+    /// explicit counted-load strategy.
+    pub fn with_backend_and_strategy(backend: lfrc_core::Backend, strategy: Strategy) -> Self {
         LfrcStack {
             head: SharedField::null(),
             heap: Heap::with_backend(backend),
+            strategy,
         }
     }
 
@@ -268,17 +285,43 @@ impl<W: DcasWord> LfrcStack<W> {
     pub fn heap(&self) -> &Heap<LfrcStackNode<W>, W> {
         &self.heap
     }
-}
 
-impl<W: DcasWord> ConcurrentStack for LfrcStack<W> {
-    /// Deferred fast path (DESIGN.md §5.9): the head is read with a plain
-    /// load instead of `LFRCLoad`'s DCAS; the only count taken per
-    /// attempt is the promote that our fresh node's `next` must own.
-    fn push(&self, value: u64) {
-        let node = self.heap.alloc(LfrcStackNode {
-            value,
-            next: PtrField::null(),
-        });
+    /// The counted-load strategy this instance was built with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Paper-faithful push: every pointer read is `LFRCLoad`'s DCAS and
+    /// every displaced count is released eagerly. Kept verbatim as the
+    /// executable specification the differential harness compares the
+    /// fast strategies against.
+    fn push_dcas(&self, node: Local<LfrcStackNode<W>, W>) {
+        loop {
+            let head = self.head.load(); // LFRCLoad: DCAS-counted
+            node.next.store(head.as_ref());
+            if self.head.compare_and_set(head.as_ref(), Some(&node)) {
+                return;
+            }
+        }
+    }
+
+    /// Paper-faithful pop (see [`LfrcStack::push_dcas`]).
+    fn pop_dcas(&self) -> Option<u64> {
+        loop {
+            let Some(head) = self.head.load() else {
+                return None; // empty
+            };
+            let value = head.value;
+            let next = head.next.load();
+            if self.head.compare_and_set(Some(&head), next.as_ref()) {
+                return Some(value);
+            }
+        }
+    }
+
+    /// Deferred-decrement push (DESIGN.md §5.9) — the strategy the doc
+    /// comment on [`ConcurrentStack::push`] describes.
+    fn push_dec(&self, node: Local<LfrcStackNode<W>, W>) {
         defer::pinned(|pin| loop {
             let head = self.head.load_deferred(pin);
             match head.as_ref() {
@@ -305,13 +348,8 @@ impl<W: DcasWord> ConcurrentStack for LfrcStack<W> {
         })
     }
 
-    /// Deferred fast path: one plain load + one counted `next` load + one
-    /// CAS — versus three DCAS rounds for the eager version. No rc
-    /// validation is needed: the CAS can only succeed while the head
-    /// field still holds `head`, and a field's own count keeps its
-    /// referent alive, so success proves every prior read (immutable
-    /// `value`, publication-frozen `next`) saw a live node.
-    fn pop(&self) -> Option<u64> {
+    /// Deferred-decrement pop (DESIGN.md §5.9).
+    fn pop_dec(&self) -> Option<u64> {
         defer::pinned(|pin| loop {
             let Some(head) = self.head.load_deferred(pin) else {
                 return None; // empty
@@ -329,8 +367,103 @@ impl<W: DcasWord> ConcurrentStack for LfrcStack<W> {
         })
     }
 
+    /// Deferred-**increment** push (DESIGN.md §5.13): the head read is a
+    /// plain load + TLS append, and taking the counted reference our
+    /// node's `next` must own is a plain `fetch_add` — no DCAS and no
+    /// CAS loop anywhere on the read side.
+    fn push_inc(&self, node: Local<LfrcStackNode<W>, W>) {
+        defer::pinned(|pin| loop {
+            let head = self.head.load_counted_inc(pin);
+            match head {
+                Some(h) => {
+                    // Keep a pending handle for the CAS expectation (a
+                    // TLS append), then settle the loaded reference into
+                    // our unpublished node's `next`.
+                    let expected = h.clone();
+                    node.next.store_consume(IncLocal::promote(h));
+                    if self.head.compare_and_set_inc(Some(&expected), Some(&node)) {
+                        // The displaced head unit is grace-retired inside
+                        // `cas_inc` — the property every DeferredInc
+                        // reader of this stack relies on.
+                        return;
+                    }
+                    // Retry: `store_consume` above will eagerly release
+                    // `next`'s stale reference. That release cannot be
+                    // the last unit: the competing swap that beat us
+                    // grace-retired the displaced head unit, and our pin
+                    // (we pinned before reading the head) delays that
+                    // decrement past this whole scope.
+                }
+                None => {
+                    node.next.store(None);
+                    if self.head.compare_and_set_inc(None, Some(&node)) {
+                        return;
+                    }
+                }
+            }
+        })
+    }
+
+    /// Deferred-increment pop (DESIGN.md §5.13). No rc validation and no
+    /// promote-failure path: every object loaded inside the pin is alive
+    /// for the whole pin (the cover-unit argument in `lfrc_core::inc`).
+    fn pop_inc(&self) -> Option<u64> {
+        defer::pinned(|pin| loop {
+            let Some(head) = self.head.load_counted_inc(pin) else {
+                return None; // empty
+            };
+            let value = head.value; // alive for the whole pin
+                                    // `head` cannot be harvested while we are pinned, so its
+                                    // `next` is a genuine link; promote materializes the +1 the
+                                    // head field will own if our CAS wins.
+            let next = head.next.load_counted_inc(pin).map(IncLocal::promote);
+            if self.head.compare_and_set_inc(Some(&head), next.as_ref()) {
+                // The popped node's unit is grace-retired by `cas_inc`.
+                return Some(value);
+            }
+            // Retry: dropping `next` releases its +1 eagerly, which is
+            // safe — the old head's field unit on `next` outlives our pin
+            // (its release is grace-deferred), so the count stays ≥ 1.
+        })
+    }
+}
+
+impl<W: DcasWord> ConcurrentStack for LfrcStack<W> {
+    /// Dispatches on the instance's [`Strategy`]. The default,
+    /// `DeferredDec`, is the §5.9 fast path: the head is read with a
+    /// plain load instead of `LFRCLoad`'s DCAS, and the only count taken
+    /// per attempt is the promote that our fresh node's `next` must own.
+    /// `Dcas` is the paper-faithful reference; `DeferredInc` (§5.13)
+    /// removes the promote CAS as well.
+    fn push(&self, value: u64) {
+        let node = self.heap.alloc(LfrcStackNode {
+            value,
+            next: PtrField::null(),
+        });
+        match self.strategy {
+            Strategy::Dcas => self.push_dcas(node),
+            Strategy::DeferredDec => self.push_dec(node),
+            Strategy::DeferredInc => self.push_inc(node),
+        }
+    }
+
+    /// Dispatches on the instance's [`Strategy`]. Under `DeferredDec`:
+    /// one plain load + one counted `next` load + one CAS — versus three
+    /// DCAS rounds for `Dcas`. No rc validation is needed: the CAS can
+    /// only succeed while the head field still holds `head`, and a
+    /// field's own count keeps its referent alive, so success proves
+    /// every prior read (immutable `value`, publication-frozen `next`)
+    /// saw a live node. `DeferredInc` drops the remaining DCAS too.
+    fn pop(&self) -> Option<u64> {
+        match self.strategy {
+            Strategy::Dcas => self.pop_dcas(),
+            Strategy::DeferredDec => self.pop_dec(),
+            Strategy::DeferredInc => self.pop_inc(),
+        }
+    }
+
     fn impl_name(&self) -> String {
-        format!("stack-lfrc/{}", W::strategy_name())
+        format!("stack-lfrc/{}/{}", W::strategy_name(), self.strategy.name())
     }
 }
 
@@ -370,6 +503,9 @@ mod tests {
                     }
                     // Explicit: `scope` can return before this thread's
                     // TLS-destructor flush runs, racing the census read.
+                    // Settle first so a (never-expected) increment residue
+                    // cannot hold the advance gate closed either.
+                    lfrc_core::settle_thread();
                     lfrc_core::defer::flush_thread();
                 });
             }
@@ -393,6 +529,7 @@ mod tests {
                             }
                         }
                     }
+                    lfrc_core::settle_thread();
                     lfrc_core::defer::flush_thread();
                 });
             }
@@ -432,6 +569,56 @@ mod tests {
         // main thread (which drained the stack) flushes explicitly.
         lfrc_core::defer::flush_thread();
         assert_eq!(census.live(), 0, "LFRC stack leaked nodes");
+    }
+
+    /// Drives the collector until the census drains (grace-retired units
+    /// under `Strategy::DeferredInc` release their decrements only after
+    /// epoch advances), with a bound so a regression fails instead of
+    /// hanging.
+    #[track_caller]
+    fn assert_census_drains(census: &lfrc_core::Census) {
+        let t0 = std::time::Instant::now();
+        while census.live() != 0 && t0.elapsed() < std::time::Duration::from_secs(10) {
+            lfrc_core::defer::flush_thread();
+            lfrc_dcas::quiesce();
+            std::thread::yield_now();
+        }
+        assert_eq!(census.live(), 0, "census did not drain");
+    }
+
+    #[test]
+    fn lfrc_stack_every_strategy_sequential() {
+        for strategy in Strategy::ALL {
+            let s: LfrcStack<McasWord> = LfrcStack::with_strategy(strategy);
+            assert_eq!(s.strategy(), strategy);
+            assert!(
+                s.impl_name().ends_with(strategy.name()),
+                "{}",
+                s.impl_name()
+            );
+            exercise_sequential(&s);
+            let census = std::sync::Arc::clone(s.heap().census());
+            drop(s);
+            assert_census_drains(&census);
+        }
+    }
+
+    #[test]
+    fn lfrc_stack_deferred_inc_concurrent() {
+        let s: LfrcStack<McasWord> = LfrcStack::with_strategy(Strategy::DeferredInc);
+        let census = std::sync::Arc::clone(s.heap().census());
+        exercise_concurrent(&s, 4, 3_000);
+        drop(s);
+        assert_census_drains(&census);
+    }
+
+    #[test]
+    fn lfrc_stack_dcas_strategy_concurrent() {
+        let s: LfrcStack<McasWord> = LfrcStack::with_strategy(Strategy::Dcas);
+        let census = std::sync::Arc::clone(s.heap().census());
+        exercise_concurrent(&s, 2, 500); // eager DCAS path is slow; keep it small
+        drop(s);
+        assert_census_drains(&census);
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! Differential schedule exploration: `Strategy::DeferredInc` against
+//! the paper-faithful `Strategy::Dcas` path (DESIGN.md §5.13).
+//!
+//! The deferred-increment load replaces the counted load's DCAS with a
+//! native atomic load plus a TLS-buffered pending increment, settled
+//! before the pinning epoch expires. Its safety argument (the cover-unit
+//! induction) is a proof about *every* interleaving, so the evidence here
+//! is differential: the **same op sequence** is driven through both
+//! strategies under `lfrc-sched` cooperative exploration, and on every
+//! explored schedule the observable results must be identical —
+//! conservation of the value multiset, zero census canary hits
+//! (`rc_on_freed`), zero leaks once buffers settle and the grace period
+//! drains.
+//!
+//! Observable equivalence is multiset equality, not per-popper equality:
+//! which racing popper obtains which value legitimately depends on the
+//! interleaving, and the two strategies yield at different sites, so the
+//! same seed explores *different* schedules per strategy. What may not
+//! differ is what the structure as a whole gave out.
+//!
+//! The DCAS path stays in-tree untouched as the executable spec this
+//! file diffs against — that is its job now (README "Load strategies").
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lfrc_repro::core::{Census, McasWord, Strategy};
+use lfrc_repro::structures::{ConcurrentQueue, ConcurrentStack, LfrcQueue, LfrcStack};
+use lfrc_sched::{Body, CrashMode, CrashSpec, FaultPlan, InstrSite, Policy, Schedule, Trace};
+
+/// Sentinel for "this popper got nothing".
+const NONE: u64 = u64::MAX;
+
+/// Settle pending increments, then flush parked decrements — the
+/// teardown order every DeferredInc thread owes before its buffers can
+/// be inspected (settling may park decrements, never the other way).
+fn settle_and_flush() {
+    lfrc_repro::core::settle_thread();
+    lfrc_repro::core::flush_thread();
+}
+
+/// Drains the census to quiescence, bounded. Under `DeferredInc` the
+/// retired cover units destruct only after the epoch advances past
+/// their grace period, so `live()` is not zero the instant the
+/// structure drops — it is zero after a few advance/collect rounds.
+fn drain_census(census: &Census) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while census.live() != 0 && Instant::now() < deadline {
+        settle_and_flush();
+        lfrc_repro::dcas::quiesce();
+        std::thread::yield_now();
+    }
+    census.live()
+}
+
+/// Outcome of one scheduled round through one strategy.
+struct Round {
+    trace: Trace,
+    /// Sorted multiset of every value the structure gave out (racing
+    /// pops + the post-run drain).
+    values: Vec<u64>,
+    /// Live objects after settle + flush + grace drain.
+    leaked: u64,
+    /// Census canary: rc updates applied to freed objects.
+    rc_on_freed: u64,
+}
+
+/// The op sequence both strategies must agree on, stack edition: a
+/// one-deep stack raced by two push-pop-pop bodies, every hot-loop step
+/// crossing the strategy's yield sites (`IncLoad`/`IncAppend`/
+/// `IncSettle`/`IncRetire` for DeferredInc; the DCAS window for Dcas).
+fn stack_race(strategy: Strategy, policy: &Policy, plan: FaultPlan) -> Round {
+    let st: LfrcStack<McasWord> = LfrcStack::with_strategy(strategy);
+    st.push(100);
+    let got: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(NONE)).collect();
+    let trace = {
+        let (st, got) = (&st, &got);
+        let bodies: Vec<Body<'_>> = (0..2usize)
+            .map(|i| {
+                let body: Body<'_> = Box::new(move || {
+                    st.push(200 + i as u64);
+                    if let Some(v) = st.pop() {
+                        got[2 * i].store(v, Ordering::SeqCst);
+                    }
+                    // Settle mid-body so the settle/epoch-gate windows
+                    // interleave with the other thread's loads, then
+                    // again at the end (scheduled bodies must not rely
+                    // on TLS exit — see lfrc_core::inc).
+                    settle_and_flush();
+                    if let Some(v) = st.pop() {
+                        got[2 * i + 1].store(v, Ordering::SeqCst);
+                    }
+                    settle_and_flush();
+                });
+                body
+            })
+            .collect();
+        Schedule::new().faults(plan).run(policy, bodies)
+    };
+    let mut values: Vec<u64> = got
+        .iter()
+        .map(|s| s.load(Ordering::SeqCst))
+        .filter(|&v| v != NONE)
+        .collect();
+    while let Some(v) = st.pop() {
+        values.push(v);
+    }
+    values.sort_unstable();
+    let census = Arc::clone(st.heap().census());
+    drop(st);
+    settle_and_flush();
+    let leaked = drain_census(&census);
+    Round {
+        trace,
+        values,
+        leaked,
+        rc_on_freed: census.rc_on_freed(),
+    }
+}
+
+/// The op sequence both strategies must agree on, queue edition — the
+/// M&S queue's two-field (head/tail) shape reaches the retire path from
+/// a different direction than the stack's single root.
+fn queue_race(strategy: Strategy, policy: &Policy, plan: FaultPlan) -> Round {
+    let q: LfrcQueue<McasWord> = LfrcQueue::with_strategy(strategy);
+    q.enqueue(100);
+    let got: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(NONE)).collect();
+    let trace = {
+        let (q, got) = (&q, &got);
+        let bodies: Vec<Body<'_>> = (0..2usize)
+            .map(|i| {
+                let body: Body<'_> = Box::new(move || {
+                    q.enqueue(200 + i as u64);
+                    if let Some(v) = q.dequeue() {
+                        got[2 * i].store(v, Ordering::SeqCst);
+                    }
+                    settle_and_flush();
+                    if let Some(v) = q.dequeue() {
+                        got[2 * i + 1].store(v, Ordering::SeqCst);
+                    }
+                    settle_and_flush();
+                });
+                body
+            })
+            .collect();
+        Schedule::new().faults(plan).run(policy, bodies)
+    };
+    let mut values: Vec<u64> = got
+        .iter()
+        .map(|s| s.load(Ordering::SeqCst))
+        .filter(|&v| v != NONE)
+        .collect();
+    while let Some(v) = q.dequeue() {
+        values.push(v);
+    }
+    values.sort_unstable();
+    let census = Arc::clone(q.heap().census());
+    drop(q);
+    settle_and_flush();
+    let leaked = drain_census(&census);
+    Round {
+        trace,
+        values,
+        leaked,
+        rc_on_freed: census.rc_on_freed(),
+    }
+}
+
+/// The differential assertion: a fault-free round must conserve the
+/// exact multiset under *both* strategies, with clean canaries and no
+/// leak — and therefore the two strategies agree with each other.
+fn assert_strategies_agree(seed: u64, what: &str, dcas: &Round, inc: &Round) {
+    for (name, round) in [("Dcas", dcas), ("DeferredInc", inc)] {
+        assert_eq!(
+            round.values,
+            vec![100, 200, 201],
+            "{what}/{name}: conservation violated — replay with LFRC_SCHED_SEED={seed}"
+        );
+        assert_eq!(
+            round.rc_on_freed, 0,
+            "{what}/{name}: rc update on freed object — replay with LFRC_SCHED_SEED={seed}"
+        );
+        assert_eq!(
+            round.leaked, 0,
+            "{what}/{name}: leak after settle+drain — replay with LFRC_SCHED_SEED={seed}"
+        );
+    }
+    assert_eq!(
+        dcas.values, inc.values,
+        "{what}: strategies disagree on observable results — replay with LFRC_SCHED_SEED={seed}"
+    );
+}
+
+/// The acceptance-criteria test, stack edition: ≥10 000 *distinct*
+/// seeded schedules of the DeferredInc path, each diffed against the
+/// DCAS executable spec under the same seed.
+///
+/// Set `LFRC_SCHED_SEED=<n>` to replay a single seed with a full event
+/// dump of the DeferredInc schedule instead.
+#[test]
+fn strategy_diff_explores_10k_distinct_stack_schedules() {
+    if let Some(seed) = lfrc_sched::seed_from_env() {
+        let dcas = stack_race(Strategy::Dcas, &Policy::Random(seed), FaultPlan::new());
+        let inc = stack_race(
+            Strategy::DeferredInc,
+            &Policy::Random(seed),
+            FaultPlan::new(),
+        );
+        println!(
+            "replayed LFRC_SCHED_SEED={seed} (DeferredInc): trace hash {:#018x}, {} steps\n{}",
+            inc.trace.hash,
+            inc.trace.steps,
+            inc.trace.format_events()
+        );
+        assert_strategies_agree(seed, "stack", &dcas, &inc);
+        return;
+    }
+    const TARGET: usize = 10_000;
+    let mut hashes = HashSet::new();
+    let mut seed = 0u64;
+    while hashes.len() < TARGET {
+        assert!(
+            seed < 20 * TARGET as u64,
+            "schedule space saturated at {} distinct schedules before reaching {TARGET}",
+            hashes.len()
+        );
+        let dcas = stack_race(Strategy::Dcas, &Policy::Random(seed), FaultPlan::new());
+        let inc = stack_race(
+            Strategy::DeferredInc,
+            &Policy::Random(seed),
+            FaultPlan::new(),
+        );
+        assert_strategies_agree(seed, "stack", &dcas, &inc);
+        hashes.insert(inc.trace.hash);
+        seed += 1;
+    }
+    println!(
+        "explored {} distinct DeferredInc stack schedules over {seed} seeds",
+        hashes.len()
+    );
+}
+
+/// The acceptance-criteria test, queue edition.
+#[test]
+fn strategy_diff_explores_10k_distinct_queue_schedules() {
+    if let Some(seed) = lfrc_sched::seed_from_env() {
+        let dcas = queue_race(Strategy::Dcas, &Policy::Random(seed), FaultPlan::new());
+        let inc = queue_race(
+            Strategy::DeferredInc,
+            &Policy::Random(seed),
+            FaultPlan::new(),
+        );
+        println!(
+            "replayed LFRC_SCHED_SEED={seed} (DeferredInc): trace hash {:#018x}, {} steps\n{}",
+            inc.trace.hash,
+            inc.trace.steps,
+            inc.trace.format_events()
+        );
+        assert_strategies_agree(seed, "queue", &dcas, &inc);
+        return;
+    }
+    const TARGET: usize = 10_000;
+    let mut hashes = HashSet::new();
+    let mut seed = 0u64;
+    while hashes.len() < TARGET {
+        assert!(
+            seed < 20 * TARGET as u64,
+            "schedule space saturated at {} distinct schedules before reaching {TARGET}",
+            hashes.len()
+        );
+        let dcas = queue_race(Strategy::Dcas, &Policy::Random(seed), FaultPlan::new());
+        let inc = queue_race(
+            Strategy::DeferredInc,
+            &Policy::Random(seed),
+            FaultPlan::new(),
+        );
+        assert_strategies_agree(seed, "queue", &dcas, &inc);
+        hashes.insert(inc.trace.hash);
+        seed += 1;
+    }
+    println!(
+        "explored {} distinct DeferredInc queue schedules over {seed} seeds",
+        hashes.len()
+    );
+}
+
+/// The four new yield sites must actually be crossed by the explored
+/// schedules — otherwise the differential tests above would be diffing
+/// the old windows only.
+#[test]
+fn strategy_diff_inc_sites_are_explored() {
+    let mut seen = HashSet::new();
+    for seed in 0..50u64 {
+        let round = stack_race(
+            Strategy::DeferredInc,
+            &Policy::Random(seed),
+            FaultPlan::new(),
+        );
+        for e in &round.trace.events {
+            if let Some(site) = e.site {
+                seen.insert(site.name());
+            }
+        }
+    }
+    for site in [
+        InstrSite::IncLoad,
+        InstrSite::IncAppend,
+        InstrSite::IncSettle,
+        InstrSite::IncRetire,
+    ] {
+        assert!(
+            seen.contains(site.name()),
+            "yield site {} never appeared in 50 explored schedules (seen: {seen:?})",
+            site.name()
+        );
+    }
+}
+
+/// DeferredInc replay determinism: rerunning a seed reproduces a
+/// bit-identical trace (hash *and* full event sequence) and identical
+/// observable outcomes, across distinct structure instances.
+#[test]
+fn strategy_diff_inc_replay_is_bit_identical() {
+    for seed in [3u64, 91, 0xFEED_FACE, 0x1AC5_B00C] {
+        let a = stack_race(
+            Strategy::DeferredInc,
+            &Policy::Random(seed),
+            FaultPlan::new(),
+        );
+        let b = stack_race(
+            Strategy::DeferredInc,
+            &Policy::Random(seed),
+            FaultPlan::new(),
+        );
+        assert_eq!(
+            a.trace.hash, b.trace.hash,
+            "seed {seed}: DeferredInc trace hash diverged between identical runs"
+        );
+        assert_eq!(
+            a.trace.events, b.trace.events,
+            "seed {seed}: DeferredInc event sequences diverged"
+        );
+        assert_eq!(a.values, b.values, "seed {seed}: observed values diverged");
+    }
+}
+
+/// At least one crash `FaultPlan` per new yield site, in both modes: a
+/// thread dying at an inc site must never corrupt a count. Conservation
+/// cannot be asserted on a crashed run (the dead thread's ops are
+/// legitimately lost), so the assertions are safety-only: zero canary
+/// hits and a bounded strand.
+#[test]
+fn strategy_diff_crash_plans_on_inc_sites() {
+    const LEAK_BOUND: u64 = 6;
+    for site in [
+        InstrSite::IncLoad,
+        InstrSite::IncAppend,
+        InstrSite::IncSettle,
+        InstrSite::IncRetire,
+    ] {
+        for mode in [CrashMode::Stall, CrashMode::Panic] {
+            let mut fired = false;
+            'search: for seed in 0..24u64 {
+                for t in 0..2usize {
+                    let plan = FaultPlan::new().crash(CrashSpec {
+                        thread: t,
+                        site: Some(site),
+                        skip: 0,
+                        mode,
+                    });
+                    let round = stack_race(Strategy::DeferredInc, &Policy::Random(seed), plan);
+                    assert_eq!(
+                        round.rc_on_freed,
+                        0,
+                        "{} / {:?} / t{t} / seed {seed}: rc update on freed object",
+                        site.name(),
+                        mode
+                    );
+                    assert!(
+                        round.leaked <= LEAK_BOUND,
+                        "{} / {:?} / t{t} / seed {seed}: {} live objects exceed the \
+                         failed-thread bound of {LEAK_BOUND}",
+                        site.name(),
+                        mode,
+                        round.leaked
+                    );
+                    if let Some(c) = round.trace.crashes.first() {
+                        assert_eq!(c.site, site, "crash fired at the wrong site");
+                        assert_eq!(c.mode, mode);
+                        fired = true;
+                        break 'search;
+                    }
+                }
+            }
+            assert!(
+                fired,
+                "no workload reached {} ({:?}) — coverage lost",
+                site.name(),
+                mode
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OOM differential (compiled only with `--features inject`)
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "inject")]
+mod oom {
+    use super::*;
+    use lfrc_sched::{AllocSite, OomSpec};
+
+    /// Allocation refusals must not open a divergence between the
+    /// strategies: under a pooled-allocation OOM both fall back to the
+    /// global allocator and still agree on the observable multiset.
+    #[test]
+    fn strategy_diff_holds_under_heap_oom() {
+        for seed in 0..40u64 {
+            let plan = || {
+                FaultPlan::new().oom(OomSpec {
+                    thread: 0,
+                    site: AllocSite::HeapPooled,
+                    skip: 0,
+                    count: u32::MAX,
+                })
+            };
+            let dcas = stack_race(Strategy::Dcas, &Policy::Random(seed), plan());
+            let inc = stack_race(Strategy::DeferredInc, &Policy::Random(seed), plan());
+            assert_strategies_agree(seed, "stack-oom", &dcas, &inc);
+        }
+    }
+
+    /// The increment buffer itself never allocates through an
+    /// instrumented alloc site: its entries are bare pointers in a plain
+    /// `Vec`. Executable documentation — a plan refusing *every* alloc
+    /// site records zero refusals across a run that only performs
+    /// pinned deferred-increment loads (ISSUE 6 satellite: were the
+    /// buffer ever to grow through a fallible site, this would count a
+    /// refusal and fail).
+    #[test]
+    fn inc_buffer_appends_never_hit_an_alloc_site() {
+        use lfrc_repro::core::{Heap, Links, PtrField, SharedField};
+        struct Leaf {
+            #[allow(dead_code)]
+            id: u64,
+        }
+        impl Links<McasWord> for Leaf {
+            fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, McasWord>)) {}
+        }
+        // Everything that legitimately allocates happens out here,
+        // before the schedule (and its refusals) begin.
+        let heap: Heap<Leaf, McasWord> = Heap::new();
+        let census = Arc::clone(heap.census());
+        let root: SharedField<Leaf, McasWord> = SharedField::null();
+        let first = heap.alloc(Leaf { id: 0 });
+        root.store(Some(&first));
+        drop(first);
+        let mut plan = FaultPlan::new();
+        for site in AllocSite::ALL {
+            plan = plan.oom(OomSpec {
+                thread: 0,
+                site,
+                skip: 0,
+                count: u32::MAX,
+            });
+        }
+        let trace = {
+            let root = &root;
+            let body: Body<'_> = Box::new(move || {
+                lfrc_repro::core::defer::pinned(|pin| {
+                    for _ in 0..64 {
+                        let l = root.load_counted_inc(pin).expect("root stays set");
+                        drop(l);
+                    }
+                });
+                settle_and_flush();
+            });
+            Schedule::new()
+                .faults(plan)
+                .run(&Policy::Random(0), vec![body])
+        };
+        assert_eq!(
+            trace.oom_refusals, 0,
+            "a deferred-increment load consulted a fallible alloc site"
+        );
+        root.store(None);
+        settle_and_flush();
+        assert_eq!(drain_census(&census), 0);
+        assert_eq!(census.rc_on_freed(), 0);
+    }
+}
