@@ -1,0 +1,180 @@
+//! Bench companion to experiment E15: MCAS attempt latency per
+//! descriptor lifetime mode — `Immortal` (per-thread sequence-numbered
+//! slots, never reclaimed) vs `Pooled` (slab + epoch retirement) vs
+//! `Boxed` (global allocator + epoch retirement).
+//!
+//! Three layers of measurement:
+//!
+//! 1. Minibench micro-costs — uncontended `dcas` and 4-entry `mcas`
+//!    attempts through each mode.
+//! 2. A manual ns/attempt table for the same primitive, with the
+//!    `Pooled/Immortal` and `Boxed/Immortal` ratios — the ISSUE 7
+//!    acceptance bar is a measurable drop in attempt cost.
+//! 3. A multi-thread contended sweep: N threads hammering DCAS over one
+//!    shared cell pair per mode, total Mops/s — contention is where the
+//!    help path's descriptor traffic (and therefore the lifetime cost)
+//!    concentrates. A final counter readout shows the Immortal window
+//!    performed zero epoch retirements and zero pool consultations.
+//!
+//! Mode selection uses the per-thread override so the sweep cannot
+//! perturb other processes; `LFRC_DESC_MODE` (via `DescMode::from_env`)
+//! additionally selects the env-pinned row for bench parity with the
+//! other experiments' env knobs.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use lfrc_bench::Minibench;
+use lfrc_dcas::{set_thread_desc_mode, DcasWord, DescMode, McasOp, McasWord};
+use lfrc_obs::{Counter, Snapshot};
+
+/// One uncontended identity DCAS attempt (always succeeds, no retry
+/// loop) — the pure per-attempt descriptor cost.
+fn one_dcas(a: &McasWord, b: &McasWord) {
+    black_box(McasWord::dcas(a, b, 1, 2, 1, 2));
+}
+
+/// Mean ns per uncontended attempt for the calling thread's mode.
+fn ns_per_attempt(reps: u64) -> f64 {
+    let a = McasWord::new(1);
+    let b = McasWord::new(2);
+    for _ in 0..1_000 {
+        one_dcas(&a, &b);
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        one_dcas(&a, &b);
+    }
+    let elapsed = start.elapsed();
+    lfrc_dcas::quiesce();
+    elapsed.as_nanos() as f64 / reps as f64
+}
+
+/// Runs `threads` workers hammering DCAS increments over one shared
+/// cell pair in `mode` for `window`; returns total Mops/s (one op = one
+/// attempt, successful or not — attempts are what descriptors cost).
+fn contended_mops(mode: DescMode, threads: usize, window: Duration) -> f64 {
+    let a = McasWord::new(0);
+    let b = McasWord::new(0);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let total: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (a, b, stop, barrier) = (&a, &b, &stop, &barrier);
+                s.spawn(move || {
+                    set_thread_desc_mode(Some(mode));
+                    let mut ops = 0u64;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..32 {
+                            let (va, vb) = (a.load(), b.load());
+                            black_box(McasWord::dcas(a, b, va, vb, va + 1, vb + 1));
+                            ops += 1;
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+        barrier.wait();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    lfrc_dcas::quiesce();
+    total as f64 / window.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let mut c = Minibench::from_args();
+
+    // Layer 1: uncontended micro-costs per mode.
+    for mode in DescMode::ALL {
+        set_thread_desc_mode(Some(mode));
+        let mut g = c.group(format!("e15/{mode}"));
+        let a = McasWord::new(1);
+        let b = McasWord::new(2);
+        g.bench_function("dcas_attempt", || one_dcas(&a, &b));
+        let cells: Vec<McasWord> = (0..4u64).map(McasWord::new).collect();
+        g.bench_function("mcas_4_identity", || {
+            let ops: Vec<McasOp<'_, McasWord>> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| McasOp {
+                    cell: c,
+                    old: i as u64,
+                    new: i as u64,
+                })
+                .collect();
+            black_box(McasWord::mcas(&ops));
+        });
+        g.finish();
+    }
+    set_thread_desc_mode(None);
+
+    // Layer 2: ns/attempt and the acceptance ratios.
+    const REPS: u64 = 200_000;
+    let mut ns = [0.0f64; 3];
+    for (i, mode) in DescMode::ALL.into_iter().enumerate() {
+        set_thread_desc_mode(Some(mode));
+        ns[i] = ns_per_attempt(REPS);
+    }
+    set_thread_desc_mode(None);
+    println!();
+    println!("e15 uncontended dcas attempt cost ({REPS} reps)");
+    println!("{:>10} {:>12}", "mode", "ns/attempt");
+    for (i, mode) in DescMode::ALL.into_iter().enumerate() {
+        println!("{:>10} {:>12.2}", mode.name(), ns[i]);
+    }
+    println!(
+        "pooled / immortal ratio: {:.2}x, boxed / immortal ratio: {:.2}x \
+         (acceptance: immortal measurably cheaper)",
+        ns[1] / ns[0],
+        ns[2] / ns[0]
+    );
+
+    // Layer 3: contended throughput sweep, with the Immortal window's
+    // zero-alloc / zero-defer evidence read off the counters.
+    let window = Duration::from_millis(300);
+    println!();
+    println!(
+        "e15 contended dcas throughput ({}ms window)",
+        window.as_millis()
+    );
+    println!("{:>8} {:>10} {:>12}", "threads", "mode", "Mops/s");
+    for threads in [2usize, 4, 8] {
+        for mode in DescMode::ALL {
+            let before = Snapshot::take();
+            let mops = contended_mops(mode, threads, window);
+            let delta = Snapshot::take().diff(&before);
+            println!("{threads:>8} {:>10} {mops:>12.2}", mode.name());
+            if mode == DescMode::Immortal && lfrc_obs::enabled() {
+                assert_eq!(
+                    delta.get(Counter::EpochRetired),
+                    0,
+                    "immortal contended window performed an epoch retirement"
+                );
+                assert_eq!(
+                    delta.get(Counter::PoolMagazineHit) + delta.get(Counter::PoolMagazineMiss),
+                    0,
+                    "immortal contended window consulted the slab pool"
+                );
+            }
+        }
+    }
+    if lfrc_obs::enabled() {
+        println!("immortal windows: 0 epoch retirements, 0 pool consultations (asserted)");
+    }
+
+    let env = DescMode::from_env();
+    set_thread_desc_mode(Some(env));
+    let env_ns = ns_per_attempt(REPS / 4);
+    set_thread_desc_mode(None);
+    println!(
+        "env-selected (LFRC_DESC_MODE): {} -> {env_ns:.2} ns/attempt",
+        env.name()
+    );
+}

@@ -3,8 +3,13 @@
 //! Two kinds of memory must outlive their logical lifetime inside the
 //! DCAS emulation:
 //!
-//! 1. **Operation descriptors** (MCAS/RDCSS): helpers may dereference a
-//!    descriptor found in a cell after the owning operation finished.
+//! 1. **Operation descriptors** (MCAS/RDCSS) in the `Pooled`/`Boxed`
+//!    ablation modes: helpers may dereference a heap descriptor found in
+//!    a cell after the owning operation finished. The default
+//!    [`DescMode::Immortal`](crate::DescMode) path never retires
+//!    descriptors at all — its slots live forever and helpers validate a
+//!    packed sequence number instead (DESIGN.md §5.14) — so this epoch
+//!    argument only carries the ablation modes.
 //! 2. **User allocations containing cells**: a failing emulated DCAS (or a
 //!    lagging helper) may still *read* a cell inside an object the
 //!    algorithm has already freed — exactly the stray read hardware DCAS

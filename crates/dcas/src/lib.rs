@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod desc;
 pub mod emu;
 pub mod llsc;
 pub mod locked;
@@ -69,6 +70,7 @@ pub mod mcas;
 // remain valid through this re-export.
 pub use lfrc_obs::instrument;
 
+pub use desc::{desc_mode, set_default_desc_mode, set_thread_desc_mode, DescMode};
 pub use emu::{emulation_stats, quiesce, retire_box, retire_fn, set_advance_gate, with_guard};
 pub use instrument::InstrSite;
 pub use llsc::{Linked, LlScCell};

@@ -113,11 +113,22 @@ pub enum Counter {
     /// Epoch advances refused by a registered advance gate (unsettled
     /// deferred increments outstanding).
     EpochAdvanceGated,
+    /// Immortal descriptors: slot claims that reused a previously
+    /// published slot (sequence bumped past its first life) — the
+    /// zero-allocation reuse edge of Arbel-Raviv & Brown.
+    DescImmortalReuse,
+    /// Immortal descriptors: helper sequence validations that found a
+    /// stale seq (the slot moved on) — each is a correctly-detected
+    /// reuse race.
+    DescSeqInvalid,
+    /// Immortal descriptors: help attempts abandoned outright because
+    /// the descriptor word's sequence no longer matches the slot.
+    DescHelpAbandoned,
 }
 
 impl Counter {
     /// Every variant, in discriminant order (the shard layout).
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 37] = [
         Counter::LoadDcasAttempt,
         Counter::LoadDcasRetry,
         Counter::LoadDeferred,
@@ -152,6 +163,9 @@ impl Counter {
         Counter::DeferredIncCancel,
         Counter::DeferredIncRetire,
         Counter::EpochAdvanceGated,
+        Counter::DescImmortalReuse,
+        Counter::DescSeqInvalid,
+        Counter::DescHelpAbandoned,
     ];
 
     /// Stable snake_case metric name (JSON key; Prometheus name after the
@@ -192,6 +206,9 @@ impl Counter {
             Counter::DeferredIncCancel => "deferred_inc_cancels",
             Counter::DeferredIncRetire => "deferred_inc_retires",
             Counter::EpochAdvanceGated => "epoch_advance_gated",
+            Counter::DescImmortalReuse => "desc_immortal_reuses",
+            Counter::DescSeqInvalid => "desc_seq_invalidations",
+            Counter::DescHelpAbandoned => "desc_helps_abandoned",
         }
     }
 

@@ -115,6 +115,20 @@ pub enum InstrSite {
     /// eagerly — the disposal discipline that keeps pending increments
     /// covered.
     IncRetire,
+    /// Immortal descriptors: a thread is about to claim (reuse) one of
+    /// its immortal MCAS/RDCSS descriptor slots — the status word has
+    /// not yet entered the CLAIMING state, so stale helpers still see
+    /// the previous operation's terminal seq.
+    DescClaim,
+    /// Immortal descriptors: the slot's fields have been rewritten for
+    /// the new operation but the publish store (seq'd UNDECIDED status)
+    /// has not yet happened — helpers observing CLAIMING must abandon.
+    DescSeqBump,
+    /// Immortal descriptors: a helper has unpacked a seq'd descriptor
+    /// word and is about to validate the slot's current sequence against
+    /// it — the window where the owner may complete and reuse the slot,
+    /// forcing the helper to abandon.
+    DescHelperValidate,
 }
 
 impl InstrSite {
@@ -143,6 +157,9 @@ impl InstrSite {
             InstrSite::IncAppend => 20,
             InstrSite::IncSettle => 21,
             InstrSite::IncRetire => 22,
+            InstrSite::DescClaim => 23,
+            InstrSite::DescSeqBump => 24,
+            InstrSite::DescHelperValidate => 25,
         }
     }
 
@@ -171,12 +188,15 @@ impl InstrSite {
             InstrSite::IncAppend => "inc-append",
             InstrSite::IncSettle => "inc-settle",
             InstrSite::IncRetire => "inc-retire",
+            InstrSite::DescClaim => "desc-claim",
+            InstrSite::DescSeqBump => "desc-seq-bump",
+            InstrSite::DescHelperValidate => "desc-helper-validate",
         }
     }
 
     /// Every instrumented site, in tag order. Fault-injection sweeps
     /// iterate this to prove each site is actually reachable.
-    pub const ALL: [InstrSite; 22] = [
+    pub const ALL: [InstrSite; 25] = [
         InstrSite::LoadDcasWindow,
         InstrSite::DestroyDecrement,
         InstrSite::RdcssInstalled,
@@ -199,6 +219,9 @@ impl InstrSite {
         InstrSite::IncAppend,
         InstrSite::IncSettle,
         InstrSite::IncRetire,
+        InstrSite::DescClaim,
+        InstrSite::DescSeqBump,
+        InstrSite::DescHelperValidate,
     ];
 
     /// Whether this site fires from inside the slab pool.

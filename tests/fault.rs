@@ -31,6 +31,7 @@ use lfrc_repro::core::{
     flush_thread, settle_thread, DcasWord, Heap, IncLocal, Links, LockWord, McasWord, PtrField,
     SharedField,
 };
+use lfrc_repro::dcas::{set_thread_desc_mode, DescMode};
 use lfrc_repro::deque::{ConcurrentDeque, LfrcSnarkRepaired};
 #[cfg(feature = "inject")]
 use lfrc_repro::pool;
@@ -139,6 +140,19 @@ fn crash_sweep(
 /// link — every other count is released by the crash unwind (stack
 /// `Local`s drop) or the dying thread's buffer flush.
 fn core_round<W: DcasWord>(policy: &Policy, plan: FaultPlan) -> Observed {
+    core_round_in_mode::<W>(None, policy, plan)
+}
+
+/// [`core_round`] with every scheduled body pinned to a descriptor
+/// lifetime mode. The desc-site sweep needs Immortal traffic (claim and
+/// helper-validate windows) and Pooled traffic (the `DescAlloc` window)
+/// on demand, independent of the process default and of whatever other
+/// tests in this binary are doing.
+fn core_round_in_mode<W: DcasWord>(
+    mode: Option<DescMode>,
+    policy: &Policy,
+    plan: FaultPlan,
+) -> Observed {
     let heap: Heap<Node<W>, W> = Heap::new();
     let census = Arc::clone(heap.census());
     let trace;
@@ -153,6 +167,7 @@ fn core_round<W: DcasWord>(policy: &Policy, plan: FaultPlan) -> Observed {
             let bodies: Vec<Body<'_>> = (0..3u64)
                 .map(|t| {
                     let body: Body<'_> = Box::new(move || {
+                        set_thread_desc_mode(mode);
                         let mut held = Vec::new();
                         for i in 0..3u64 {
                             let f = &shared[(t + i) as usize % 2];
@@ -196,13 +211,97 @@ fn crash_sweep_core_sites() {
             InstrSite::DestroyDecrement,
             InstrSite::RdcssInstalled,
             InstrSite::McasBeforeStatusCas,
-            InstrSite::DescAlloc,
         ],
         3,
         24,
         6,
         core_round::<McasWord>,
     );
+}
+
+// ---------------------------------------------------------------------------
+// Crash sweep, group 7: the descriptor lifetime windows
+// ---------------------------------------------------------------------------
+
+/// The descriptor-mode windows, each under the mode that reaches it: the
+/// immortal claim/seq-bump/helper-validate sites fire on every
+/// Immortal-mode MCAS, the `DescAlloc` site only when an ablation mode
+/// actually allocates a descriptor. A thread dying in a claim window
+/// holds exactly what a thread dying at `DescAlloc` held before this PR
+/// (the operation's stack references), so the leak bound is unchanged.
+#[test]
+fn crash_sweep_desc_sites() {
+    crash_sweep(
+        &[
+            InstrSite::DescClaim,
+            InstrSite::DescSeqBump,
+            InstrSite::DescHelperValidate,
+        ],
+        3,
+        24,
+        6,
+        |p, plan| core_round_in_mode::<McasWord>(Some(DescMode::Immortal), p, plan),
+    );
+    crash_sweep(&[InstrSite::DescAlloc], 3, 24, 6, |p, plan| {
+        core_round_in_mode::<McasWord>(Some(DescMode::Pooled), p, plan)
+    });
+}
+
+/// A Stall crash *inside the claim window* must not strand the slot: the
+/// dead thread's TLS teardown returns its index, and the next owner's
+/// claim bumps past whatever half-state the crash froze — nothing yet
+/// (`DescClaim`), a mid-rewrite CLAIMING hold (`DescSeqBump`, first
+/// visit), or a published-but-abandoned UNDECIDED operation with the
+/// RDCSS slot mid-claim (`DescSeqBump`, second visit).
+#[test]
+fn stall_in_claim_window_strands_no_descriptor() {
+    use lfrc_repro::dcas::mcas::test_support;
+    use std::sync::atomic::AtomicUsize;
+    for (site, skip) in [
+        (InstrSite::DescClaim, 0),
+        (InstrSite::DescSeqBump, 0),
+        (InstrSite::DescSeqBump, 1),
+    ] {
+        let a = McasWord::new(0);
+        let b = McasWord::new(0);
+        let idx = AtomicUsize::new(usize::MAX);
+        let trace = {
+            let (a, b, idx) = (&a, &b, &idx);
+            let body: Body<'_> = Box::new(move || {
+                set_thread_desc_mode(Some(DescMode::Immortal));
+                idx.store(test_support::current_slot_index(), Ordering::SeqCst);
+                let _ = McasWord::dcas(a, b, 0, 0, 1, 1);
+            });
+            Schedule::new()
+                .faults(FaultPlan::new().crash(CrashSpec {
+                    thread: 0,
+                    site: Some(site),
+                    skip,
+                    mode: CrashMode::Stall,
+                }))
+                .run(&Policy::Random(0), vec![body])
+        };
+        let c = trace
+            .crashes
+            .first()
+            .unwrap_or_else(|| panic!("{}/skip {skip}: claim window not reached", site.name()));
+        assert_eq!(c.site, site);
+        assert_eq!(c.mode, CrashMode::Stall);
+        let idx = idx.load(Ordering::SeqCst);
+        assert_ne!(idx, usize::MAX, "body never recorded its slot index");
+        // `run` has joined the stalled thread, so its unwind already
+        // returned `idx` to the free list. Adopt it and prove a fresh
+        // claim works. `None` means a concurrently-running test in this
+        // binary claimed the index first — in which case *its*
+        // operations are exercising the slot right now.
+        if let Some(ok) = test_support::adopt_and_exercise(idx) {
+            assert!(
+                ok,
+                "{}/skip {skip}: slot unusable after a claim-window crash",
+                site.name()
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -507,8 +606,8 @@ fn crash_sweep_lock_spin_site() {
     }
 }
 
-/// The five sweep groups, together, must cover every instrumented site —
-/// a new `InstrSite` variant fails here until a sweep learns to reach it.
+/// The sweep groups, together, must cover every instrumented site — a
+/// new `InstrSite` variant fails here until a sweep learns to reach it.
 #[test]
 fn sweep_groups_cover_every_site() {
     let covered: Vec<InstrSite> = [
@@ -517,7 +616,6 @@ fn sweep_groups_cover_every_site() {
         InstrSite::DestroyDecrement,
         InstrSite::RdcssInstalled,
         InstrSite::McasBeforeStatusCas,
-        InstrSite::DescAlloc,
         // group 2 (deferred)
         InstrSite::DeferAppend,
         InstrSite::DeferFlush,
@@ -540,6 +638,11 @@ fn sweep_groups_cover_every_site() {
         InstrSite::IncAppend,
         InstrSite::IncSettle,
         InstrSite::IncRetire,
+        // group 7 (descriptor lifetime)
+        InstrSite::DescAlloc,
+        InstrSite::DescClaim,
+        InstrSite::DescSeqBump,
+        InstrSite::DescHelperValidate,
     ]
     .into();
     for site in InstrSite::ALL {
@@ -637,7 +740,9 @@ mod oom {
     }
 
     /// MCAS descriptor pool refused → `desc_alloc` falls back to `Box`
-    /// and the DCAS still linearizes correctly.
+    /// and the DCAS still linearizes correctly. Pinned to the Pooled
+    /// ablation mode: the Immortal default never consults the pool at
+    /// all (see `immortal_descriptors_never_consult_alloc_sites`).
     #[test]
     fn desc_pool_oom_uses_box_fallback() {
         let heap: Heap<Node<McasWord>, McasWord> = Heap::new();
@@ -646,6 +751,7 @@ mod oom {
         let trace = {
             let (heap, shared) = (&heap, &shared);
             let body: Body<'_> = Box::new(move || {
+                set_thread_desc_mode(Some(DescMode::Pooled));
                 for i in 0..4 {
                     let fresh = heap.alloc(node(i));
                     shared.store(Some(&fresh));
@@ -662,6 +768,42 @@ mod oom {
         assert!(trace.oom_refusals >= 1, "descriptor pool never consulted");
         assert_eq!(census.live(), 0);
         assert_eq!(census.rc_on_freed(), 0);
+    }
+
+    /// The Immortal mode's acceptance claim, under total allocation
+    /// refusal: with **every** instrumented allocation site refused
+    /// forever, Immortal-mode MCAS traffic completes without tripping a
+    /// single refusal — the attempt path consults no allocation site.
+    #[test]
+    fn immortal_descriptors_never_consult_alloc_sites() {
+        let a = McasWord::new(0);
+        let b = McasWord::new(0);
+        let plan = AllocSite::ALL.iter().fold(FaultPlan::new(), |p, &site| {
+            p.oom(OomSpec {
+                thread: 0,
+                site,
+                skip: 0,
+                count: u32::MAX,
+            })
+        });
+        let trace = {
+            let (a, b) = (&a, &b);
+            let body: Body<'_> = Box::new(move || {
+                set_thread_desc_mode(Some(DescMode::Immortal));
+                for i in 0..8u64 {
+                    assert!(McasWord::dcas(a, b, i, i, i + 1, i + 1));
+                }
+            });
+            Schedule::new()
+                .faults(plan)
+                .run(&Policy::Random(0), vec![body])
+        };
+        assert_eq!(
+            trace.oom_refusals, 0,
+            "an immortal MCAS attempt consulted an allocation site"
+        );
+        assert_eq!(a.load(), 8);
+        assert_eq!(b.load(), 8);
     }
 
     /// Pool refill refused → the magazine miss cannot carve a slab, the
@@ -769,6 +911,16 @@ fn explore_and_ship(name: &str, seeds: u64, round: impl Fn(&Policy) -> Observed)
 fn deep_exploration_core_mcas() {
     explore_and_ship("deep-core-mcas", deep_seeds(), |p| {
         core_round::<McasWord>(p, FaultPlan::new())
+    });
+}
+
+/// `deep_exploration_core_mcas` runs the Immortal default; this pins the
+/// same workload to the Pooled ablation so the deep sweep keeps covering
+/// the epoch-deferred descriptor lifetime too.
+#[test]
+fn deep_exploration_core_mcas_pooled() {
+    explore_and_ship("deep-core-mcas-pooled", deep_seeds(), |p| {
+        core_round_in_mode::<McasWord>(Some(DescMode::Pooled), p, FaultPlan::new())
     });
 }
 

@@ -11,8 +11,11 @@
 use std::sync::Mutex;
 
 use lfrc_repro::core::{DcasWord, Heap, Links, McasWord, PtrField, SharedField};
+use lfrc_repro::dcas::mcas::test_support;
+use lfrc_repro::dcas::{set_thread_desc_mode, DescMode};
 use lfrc_repro::harness::{run_ops_recorded, PhaseRecorder};
 use lfrc_repro::obs::{self, Counter, Snapshot};
+use lfrc_sched::{Body, Policy, Schedule};
 
 /// Serializes tests that read the global counter registry.
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -157,6 +160,140 @@ fn pool_counters_flow_into_exports() {
     );
     for name in ["pool_remote_frees", "pool_slab_allocs", "pool_slab_retires"] {
         assert!(prom.contains(name) && json.contains(name), "missing {name}");
+    }
+}
+
+/// The MCAS protocol counters — helping and descriptor lifetime — must
+/// flow *values* into both export formats, not just names (the
+/// completeness test below only proves the names exist). The desc
+/// counters are driven deterministically (reuse plus a stale-word
+/// abandon); the helping counters need real contention, so schedules
+/// are explored until a parked operation forces another thread to help.
+#[test]
+fn mcas_help_and_desc_counters_flow_into_exports() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    if !obs::enabled() {
+        return;
+    }
+    let before = Snapshot::take();
+
+    // Deterministic: immortal slot reuse, then a helper holding a word
+    // across the reuse, which must abandon (seq invalid + abandoned).
+    set_thread_desc_mode(Some(DescMode::Immortal));
+    let a = McasWord::new(0);
+    let b = McasWord::new(0);
+    for i in 0..8 {
+        assert!(McasWord::dcas(&a, &b, i, i, i + 1, i + 1));
+    }
+    let stale = test_support::thread_mcas_word();
+    assert!(McasWord::dcas(&a, &b, 8, 8, 9, 9));
+    assert!(!test_support::validated_help(stale));
+    set_thread_desc_mode(None);
+
+    // Contended: two MCAS racers over the same cells plus a reader;
+    // a schedule that parks one racer inside its installed operation
+    // makes the others resolve and help it.
+    let mut helped = false;
+    for seed in 0..100u64 {
+        let a = McasWord::new(0);
+        let b = McasWord::new(0);
+        {
+            let (a, b) = (&a, &b);
+            let mut bodies: Vec<Body<'_>> = (0..2)
+                .map(|_| {
+                    let body: Body<'_> = Box::new(move || {
+                        for _ in 0..3 {
+                            let (va, vb) = (a.load(), b.load());
+                            let _ = McasWord::dcas(a, b, va, vb, va + 1, vb + 1);
+                        }
+                    });
+                    body
+                })
+                .collect();
+            bodies.push(Box::new(move || {
+                for _ in 0..6 {
+                    std::hint::black_box(a.load());
+                }
+            }));
+            Schedule::new().run(&Policy::Random(seed), bodies);
+        }
+        let d = Snapshot::take().diff(&before);
+        if d.get(Counter::McasHelp) > 0
+            && d.get(Counter::RdcssHelp) > 0
+            && d.get(Counter::McasDescResolve) > 0
+        {
+            helped = true;
+            break;
+        }
+    }
+    assert!(helped, "no explored schedule produced MCAS helping");
+
+    let delta = Snapshot::take().diff(&before);
+    let prom = delta.to_prometheus();
+    let json = delta.to_json();
+    for (c, min) in [
+        (Counter::McasHelp, 1),
+        (Counter::RdcssHelp, 1),
+        (Counter::McasDescResolve, 1),
+        (Counter::DescImmortalReuse, 8),
+        (Counter::DescSeqInvalid, 1),
+        (Counter::DescHelpAbandoned, 1),
+    ] {
+        let v = delta.get(c);
+        assert!(v >= min, "{} only reached {v} (need ≥ {min})", c.name());
+        assert!(
+            prom.contains(&format!("lfrc_{} {v}", c.name())),
+            "prometheus export lost the {} value {v}: {prom}",
+            c.name()
+        );
+        assert!(
+            json.contains(&format!("\"{}\":{v}", c.name())),
+            "json export lost the {} value {v}: {json}",
+            c.name()
+        );
+    }
+}
+
+/// The Immortal mode's acceptance criterion (ISSUE 7), counter edition:
+/// after warmup, a window of immortal MCAS attempts performs zero epoch
+/// deferrals and zero slab-pool consultations — each attempt reuses the
+/// thread's slots in place. (`--features inject` proves the
+/// no-global-allocator half from the other side: refusing every alloc
+/// site records zero refusals — see `fault.rs`.)
+#[test]
+fn immortal_mcas_attempts_allocate_and_defer_nothing() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    set_thread_desc_mode(Some(DescMode::Immortal));
+    let a = McasWord::new(0);
+    let b = McasWord::new(0);
+    // Warmup: materialize this thread's slots and drain earlier garbage
+    // so the measured window is the steady state.
+    assert!(McasWord::dcas(&a, &b, 0, 0, 1, 1));
+    lfrc_repro::core::flush_thread();
+    lfrc_repro::dcas::quiesce();
+
+    const N: u64 = 64;
+    let before = Snapshot::take();
+    for i in 0..N {
+        assert!(McasWord::dcas(&a, &b, i + 1, i + 1, i + 2, i + 2));
+    }
+    let delta = Snapshot::take().diff(&before);
+    set_thread_desc_mode(None);
+    if obs::enabled() {
+        assert!(
+            delta.get(Counter::DescImmortalReuse) >= N,
+            "the window was not running on reused immortal slots"
+        );
+        assert_eq!(
+            delta.get(Counter::EpochRetired),
+            0,
+            "an immortal MCAS attempt deferred a descriptor to the epoch machinery"
+        );
+        assert_eq!(
+            delta.get(Counter::PoolMagazineHit) + delta.get(Counter::PoolMagazineMiss),
+            0,
+            "an immortal MCAS attempt consulted the slab pool"
+        );
     }
 }
 
