@@ -1,0 +1,145 @@
+//! **E16 — live telemetry cost.** Prices the telemetry layer this
+//! workspace hangs off the hot paths: the log-linear histogram record
+//! (registry-sharded and standalone), the monotonic clock read that
+//! feeds it, the rendered exposition, and — the acceptance bar — the
+//! deferred-read hot path with and without a histogram record in it.
+//!
+//! ```text
+//! cargo bench -p lfrc-bench --bench e16_telemetry
+//! cargo bench -p lfrc-bench --bench e16_telemetry --no-default-features
+//! ```
+//!
+//! The bar (recorded in `experiment-results/e16_telemetry.txt`): a
+//! `hist::record` added to the deferred root load — the fastest
+//! instrumented operation the protocol has, so the worst possible
+//! relative denominator — costs ≤10 % of the op. The clock read that a
+//! *timed* record adds is priced separately and honestly: it is the
+//! dominant cost of full latency timing, which is why the recorded
+//! runners time whole operation bodies rather than inner protocol steps.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use lfrc_bench::{ns_per_op, Minibench};
+use lfrc_core::{defer, Heap, Links, McasWord, PtrField, SharedField};
+use lfrc_obs::hist::{self, Hist, HistSnapshot, Histogram};
+
+struct Leaf {
+    #[allow(dead_code)]
+    n: u64,
+}
+
+impl Links<McasWord> for Leaf {
+    fn for_each_link(&self, _f: &mut dyn FnMut(&PtrField<Self, McasWord>)) {}
+}
+
+fn main() {
+    let mut c = Minibench::from_args();
+    let obs = if lfrc_obs::enabled() { "on" } else { "off" };
+    println!("e16_telemetry: observability {obs} in this build");
+
+    // Micro-costs of the telemetry primitives (registry record is a
+    // no-op when obs is off; the standalone histogram always works).
+    {
+        let standalone = Histogram::new();
+        let mut g = c.group(format!("e16/primitive[obs={obs}]"));
+        let mut v = 0u64;
+        g.bench_function("hist_record_registry", || {
+            v = v.wrapping_add(97);
+            hist::record(Hist::OpLatencyNs, black_box(v & 0xFFFF));
+        });
+        g.bench_function("hist_record_standalone", || {
+            v = v.wrapping_add(97);
+            standalone.record(black_box(v & 0xFFFF));
+        });
+        g.bench_function("now_ns", || {
+            black_box(hist::now_ns());
+        });
+        g.bench_function("instant_now", || {
+            black_box(Instant::now());
+        });
+        g.finish();
+    }
+
+    // The acceptance-bar path: the deferred root load (a plain read
+    // under an epoch pin — the protocol's fastest op) bare, with one
+    // histogram record added, and fully timed.
+    let heap: Heap<Leaf, McasWord> = Heap::new();
+    let leaf = heap.alloc(Leaf { n: 7 });
+    let root: SharedField<Leaf, McasWord> = SharedField::new(Some(&leaf));
+    drop(leaf);
+    {
+        let mut g = c.group(format!("e16/deferred_read[obs={obs}]"));
+        g.bench_function("bare", || {
+            defer::pinned(|pin| {
+                black_box(root.load_deferred(pin));
+            })
+        });
+        g.bench_function("plus_record", || {
+            defer::pinned(|pin| {
+                black_box(root.load_deferred(pin));
+            });
+            hist::record(Hist::OpLatencyNs, black_box(17));
+        });
+        g.bench_function("plus_timed_record", || {
+            let begin = Instant::now();
+            defer::pinned(|pin| {
+                black_box(root.load_deferred(pin));
+            });
+            hist::record(Hist::OpLatencyNs, begin.elapsed().as_nanos() as u64);
+        });
+        g.finish();
+    }
+
+    // Exposition costs (cold paths: one per scrape / phase / tick).
+    {
+        let mut g = c.group(format!("e16/render[obs={obs}]"));
+        g.bench_function("hist_snapshot_take", || {
+            black_box(HistSnapshot::take(Hist::OpLatencyNs));
+        });
+        g.bench_function("prometheus_exposition", || {
+            black_box(lfrc_obs::export::prometheus_exposition());
+        });
+        g.bench_function("json_summary", || {
+            black_box(HistSnapshot::take(Hist::OpLatencyNs).to_json_summary());
+        });
+        g.finish();
+    }
+
+    // Acceptance verdict, measured outside Minibench's printing so the
+    // ratio uses one shared calibration. The two variants are sampled in
+    // interleaved rounds and each side takes its median, so a scheduler
+    // hiccup landing on one round cannot masquerade as record overhead.
+    const ITERS: u64 = 500_000;
+    const ROUNDS: usize = 9;
+    let mut bares = [0.0f64; ROUNDS];
+    let mut pluses = [0.0f64; ROUNDS];
+    let mut v = 0u64;
+    for r in 0..ROUNDS {
+        bares[r] = ns_per_op(ITERS, || {
+            defer::pinned(|pin| {
+                black_box(root.load_deferred(pin));
+            })
+        });
+        pluses[r] = ns_per_op(ITERS, || {
+            defer::pinned(|pin| {
+                black_box(root.load_deferred(pin));
+            });
+            v = v.wrapping_add(97);
+            hist::record(Hist::OpLatencyNs, black_box(v & 0xFFFF));
+        });
+    }
+    let median = |xs: &mut [f64; ROUNDS]| {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[ROUNDS / 2]
+    };
+    let bare = median(&mut bares);
+    let plus = median(&mut pluses);
+    let overhead = (plus - bare) / bare * 100.0;
+    println!(
+        "e16/acceptance[obs={obs}]: deferred read bare {bare:.1} ns/op, \
+         +record {plus:.1} ns/op => overhead {overhead:+.1}% (bar: <= 10%)"
+    );
+
+    defer::flush_thread();
+}

@@ -22,15 +22,19 @@ use lfrc_baselines::LockedDeque;
 use lfrc_core::McasWord;
 use lfrc_deque::{ConcurrentDeque, HookPause, LfrcSnarkRepaired, PauseSite};
 use lfrc_harness::latency::human_ns;
-use lfrc_harness::{LatencyHistogram, Table};
+use lfrc_harness::Table;
+use lfrc_obs::hist::{HistSnapshot, Histogram};
 
 const WORKERS: usize = 4;
 const WINDOW: Duration = Duration::from_millis(1_200);
 const HICCUP_EVERY: u64 = 2_000;
 const HICCUP: Duration = Duration::from_millis(20);
 
-fn measure(d: &dyn ConcurrentDeque, hiccups: bool) -> LatencyHistogram {
-    let hist = LatencyHistogram::new();
+fn measure(d: &dyn ConcurrentDeque, hiccups: bool) -> HistSnapshot {
+    // Standalone log-linear histogram (lfrc_obs::hist): the quantiles
+    // here resolve to ≤6.25 % instead of the old log₂ factor of two,
+    // which matters exactly at the tail contrasts this table draws.
+    let hist = Histogram::new();
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(WORKERS + 1);
     for v in 0..512 {
@@ -72,7 +76,7 @@ fn measure(d: &dyn ConcurrentDeque, hiccups: bool) -> LatencyHistogram {
                         } else {
                             std::hint::black_box(d.pop_left());
                         }
-                        hist.record_ns(start.elapsed().as_nanos() as u64);
+                        hist.record(start.elapsed().as_nanos() as u64);
                     }
                     i += 1;
                 }
@@ -83,7 +87,7 @@ fn measure(d: &dyn ConcurrentDeque, hiccups: bool) -> LatencyHistogram {
         std::thread::sleep(WINDOW);
         stop.store(true, Ordering::Relaxed);
     });
-    hist
+    hist.snapshot()
 }
 
 fn main() {
@@ -104,7 +108,7 @@ fn main() {
         "ops >= 10ms",
         "samples",
     ]);
-    let mut row = |name: String, regime: &str, h: &LatencyHistogram| {
+    let mut row = |name: String, regime: &str, h: &HistSnapshot| {
         t.row([
             name,
             regime.to_owned(),

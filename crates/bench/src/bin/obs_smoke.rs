@@ -4,11 +4,25 @@
 //!
 //! `cargo run --release -p lfrc-bench --bin obs_smoke`
 //!
-//! Writes `<LFRC_OBS_DIR or experiment-results/obs>/obs_smoke.json` and
-//! prints the path on the last line of stdout.
+//! Live-telemetry hooks (all opt-in via environment):
+//!
+//! * `LFRC_OBS_ADDR=127.0.0.1:9464` — serve `/metrics` (Prometheus
+//!   text) and `/timeline` (JSON) while the run is in flight; the bound
+//!   address is printed so CI can scrape an ephemeral port.
+//! * `LFRC_SMOKE_MS=<ms>` — stretch the churn phase to a duration-bound
+//!   run (default is the fixed 40k-op burst), giving a scraper a window
+//!   to land mid-run.
+//!
+//! A timeline sampler always runs (50 ms ticks), appending
+//! `<dir>/obs_smoke.timeline.jsonl` next to the snapshot. Writes
+//! `<LFRC_OBS_DIR or experiment-results/obs>/obs_smoke.json` and prints
+//! the path on the last line of stdout.
+
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
 
 use lfrc_core::{Heap, Links, McasWord, PtrField, SharedField};
-use lfrc_harness::{run_ops_recorded, PhaseRecorder};
+use lfrc_harness::{run_for_duration_recorded, run_ops_recorded, PhaseRecorder};
 
 struct Leaf {
     #[allow(dead_code)]
@@ -25,13 +39,22 @@ fn main() {
         if lfrc_obs::enabled() { "on" } else { "off" }
     );
 
+    let server = lfrc_obs::serve_from_env().expect("bind LFRC_OBS_ADDR");
+    if let Some(addr) = server.as_ref().and_then(|s| s.local_addr()) {
+        // CI parses this line to find the ephemeral port.
+        println!("serving http://{addr}/metrics");
+    }
+
     let heap: Heap<Leaf, McasWord> = Heap::new();
     let seed = heap.alloc(Leaf { payload: 7 });
     let root: SharedField<Leaf, McasWord> = SharedField::new(Some(&seed));
     drop(seed);
 
     let mut rec = PhaseRecorder::new("obs_smoke");
-    let stats = run_ops_recorded(&mut rec, "churn", 4, 10_000, |_, _| {
+    rec.start_timeline(Duration::from_millis(50))
+        .expect("start timeline sampler");
+
+    let churn = |_: usize, _: u64| {
         // A counted load plus an alloc/swap/drop cycle drives the whole
         // instrumented surface: DCAS loads, rc increments/decrements,
         // destroys, and the census.
@@ -40,10 +63,31 @@ fn main() {
         root.store(Some(&fresh));
         drop(fresh);
         drop(cur);
-    });
+    };
+    let stats = match std::env::var("LFRC_SMOKE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(ms) => {
+            let release = AtomicBool::new(false);
+            run_for_duration_recorded(
+                &mut rec,
+                "churn",
+                4,
+                Duration::from_millis(ms),
+                &release,
+                |t, i| {
+                    churn(t, i);
+                    true
+                },
+            )
+        }
+        None => run_ops_recorded(&mut rec, "churn", 4, 10_000, churn),
+    };
     println!("churn phase: {stats}");
 
     let path = rec.finish().expect("write obs snapshot");
+    drop(server);
     // Last line is the artifact path; CI feeds it to a JSON parser.
     println!("{}", path.display());
 }

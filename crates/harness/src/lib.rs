@@ -20,6 +20,7 @@ pub mod table;
 pub mod workload;
 
 pub use checker::ConservationChecker;
+#[allow(deprecated)]
 pub use latency::LatencyHistogram;
 pub use memstat::{page_size, rss_bytes, MemSeries};
 pub use obsrec::{PhaseRecord, PhaseRecorder};

@@ -17,8 +17,10 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
-use lfrc_obs::{Counter, Snapshot};
+use lfrc_obs::hist::{Hist, HistSnapshot};
+use lfrc_obs::{Counter, Sampler, Snapshot};
 
 use crate::runner::RunStats;
 
@@ -36,6 +38,10 @@ pub struct PhaseRecord {
     pub elapsed_secs: Option<f64>,
     /// Counter change over the phase.
     pub delta: Snapshot,
+    /// Latency histogram change over the phase, one entry per
+    /// [`Hist`] in declaration order (empty deltas in obs-disabled
+    /// builds).
+    pub hists: Vec<(Hist, HistSnapshot)>,
 }
 
 /// Records one `lfrc-obs` snapshot per experiment phase and exports the
@@ -44,7 +50,9 @@ pub struct PhaseRecord {
 pub struct PhaseRecorder {
     experiment: String,
     last: Snapshot,
+    last_hists: Vec<HistSnapshot>,
     phases: Vec<PhaseRecord>,
+    timeline: Option<Sampler>,
 }
 
 impl PhaseRecorder {
@@ -55,8 +63,20 @@ impl PhaseRecorder {
         PhaseRecorder {
             experiment: experiment.into(),
             last: Snapshot::take(),
+            last_hists: Hist::ALL.iter().map(|h| HistSnapshot::take(*h)).collect(),
             phases: Vec::new(),
+            timeline: None,
         }
+    }
+
+    /// Starts the background timeline sampler for this experiment: one
+    /// JSONL row every `interval` into
+    /// `experiment-results/obs/<experiment>.timeline.jsonl` (see
+    /// [`lfrc_obs::sampler`]). Stopped (with a final row) by
+    /// [`PhaseRecorder::finish`] or drop. Inert in obs-disabled builds.
+    pub fn start_timeline(&mut self, interval: Duration) -> std::io::Result<()> {
+        self.timeline = Some(lfrc_obs::sampler::start(&self.experiment, interval)?);
+        Ok(())
     }
 
     /// Runs `f` as one phase: everything counted during the call becomes
@@ -76,13 +96,21 @@ impl PhaseRecorder {
 
     fn close_phase(&mut self, label: String, stats: Option<&RunStats>) {
         let now = Snapshot::take();
+        let now_hists: Vec<HistSnapshot> =
+            Hist::ALL.iter().map(|h| HistSnapshot::take(*h)).collect();
         self.phases.push(PhaseRecord {
             label,
             ops: stats.map(|s| s.ops),
             elapsed_secs: stats.map(|s| s.elapsed.as_secs_f64()),
             delta: now.diff(&self.last),
+            hists: Hist::ALL
+                .iter()
+                .zip(now_hists.iter().zip(self.last_hists.iter()))
+                .map(|(h, (now, last))| (*h, now.diff(last)))
+                .collect(),
         });
         self.last = now;
+        self.last_hists = now_hists;
     }
 
     /// The phases recorded so far.
@@ -92,8 +120,10 @@ impl PhaseRecorder {
 
     /// The whole recording as one JSON document:
     /// `{"experiment": "...", "obs_enabled": bool, "phases": [...]}` with
-    /// each phase carrying its label, optional `ops`/`elapsed_secs`, and
-    /// a flat `counters` object (see `lfrc_obs::Snapshot::to_json`).
+    /// each phase carrying its label, optional `ops`/`elapsed_secs`, a
+    /// flat `counters` object (see `lfrc_obs::Snapshot::to_json`), and a
+    /// `hists` object of per-histogram latency summaries (see
+    /// `lfrc_obs::hist::HistSnapshot::to_json_summary`).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + self.phases.len() * 768);
         out.push_str(&format!(
@@ -112,7 +142,15 @@ impl PhaseRecorder {
             if let Some(secs) = p.elapsed_secs {
                 out.push_str(&format!(",\"elapsed_secs\":{secs:.6}"));
             }
-            out.push_str(&format!(",\"counters\":{}}}", p.delta.to_json()));
+            out.push_str(&format!(",\"counters\":{}", p.delta.to_json()));
+            out.push_str(",\"hists\":{");
+            for (j, (h, d)) in p.hists.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", h.name(), d.to_json_summary()));
+            }
+            out.push_str("}}");
         }
         out.push_str("]}");
         out
@@ -120,8 +158,13 @@ impl PhaseRecorder {
 
     /// Writes the JSON document to `<dir>/<experiment>.json`, where
     /// `<dir>` is `LFRC_OBS_DIR` or [`DEFAULT_OBS_DIR`], creating the
-    /// directory as needed. Returns the path written.
-    pub fn finish(&self) -> std::io::Result<PathBuf> {
+    /// directory as needed, and stops the timeline sampler (if
+    /// [`PhaseRecorder::start_timeline`] started one), flushing its
+    /// final row. Returns the path written.
+    pub fn finish(&mut self) -> std::io::Result<PathBuf> {
+        if let Some(sampler) = self.timeline.take() {
+            let _ = sampler.stop();
+        }
         let dir = std::env::var("LFRC_OBS_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from(DEFAULT_OBS_DIR));
@@ -192,6 +235,8 @@ mod tests {
         assert!(j.contains("\"ops\":42"));
         assert!(j.contains("\"elapsed_secs\":0.500000"));
         assert!(j.contains("\"counters\":{"));
+        assert!(j.contains("\"hists\":{\"op_latency_ns\":{\"count\":"));
+        assert!(j.contains("\"grace_latency_ns\":{\"count\":"));
         assert_eq!(j.matches("\"label\"").count(), 2);
         // Balanced braces: crude but catches emitter slips.
         assert_eq!(j.matches('{').count(), j.matches('}').count());

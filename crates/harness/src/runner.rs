@@ -144,7 +144,12 @@ where
 }
 
 /// [`run_ops`], recorded: the run becomes one phase of `rec` labelled
-/// `label`, carrying both its counter delta and its throughput.
+/// `label`, carrying its counter delta, its per-op latency histogram
+/// delta (each `body` call is timed into
+/// [`Hist::OpLatencyNs`](lfrc_obs::hist::Hist::OpLatencyNs) via the
+/// sharded registry), and its throughput. In `--no-default-features`
+/// builds the timing collapses to nothing — `lfrc_obs::enabled()` is a
+/// `const`, so the branch folds away.
 pub fn run_ops_recorded<F>(
     rec: &mut crate::obsrec::PhaseRecorder,
     label: &str,
@@ -155,13 +160,26 @@ pub fn run_ops_recorded<F>(
 where
     F: Fn(usize, u64) + Sync,
 {
-    let stats = run_ops(threads, ops_per_thread, body);
+    let stats = run_ops(threads, ops_per_thread, |t, i| {
+        if lfrc_obs::enabled() {
+            let begin = Instant::now();
+            body(t, i);
+            lfrc_obs::hist::record(
+                lfrc_obs::hist::Hist::OpLatencyNs,
+                begin.elapsed().as_nanos() as u64,
+            );
+        } else {
+            body(t, i);
+        }
+    });
     rec.record_run(label, &stats);
     stats
 }
 
 /// [`run_for_duration`], recorded: the run becomes one phase of `rec`
-/// labelled `label`, carrying both its counter delta and its throughput.
+/// labelled `label`, carrying its counter delta, per-op latency delta
+/// (only iterations where `body` reports useful work are recorded —
+/// empty pops would flood the histogram's low buckets), and throughput.
 pub fn run_for_duration_recorded<F>(
     rec: &mut crate::obsrec::PhaseRecorder,
     label: &str,
@@ -173,7 +191,21 @@ pub fn run_for_duration_recorded<F>(
 where
     F: Fn(usize, u64) -> bool + Sync,
 {
-    let stats = run_for_duration(threads, duration, stalled_release, body);
+    let stats = run_for_duration(threads, duration, stalled_release, |t, i| {
+        if lfrc_obs::enabled() {
+            let begin = Instant::now();
+            let useful = body(t, i);
+            if useful {
+                lfrc_obs::hist::record(
+                    lfrc_obs::hist::Hist::OpLatencyNs,
+                    begin.elapsed().as_nanos() as u64,
+                );
+            }
+            useful
+        } else {
+            body(t, i)
+        }
+    });
     rec.record_run(label, &stats);
     stats
 }

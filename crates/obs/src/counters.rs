@@ -212,6 +212,49 @@ impl Counter {
         }
     }
 
+    /// One-line description for the Prometheus `# HELP` line.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::LoadDcasAttempt => "LFRCLoad DCAS attempts (Figure-2 loop trips)",
+            Counter::LoadDcasRetry => "LFRCLoad DCAS attempts that failed and retried",
+            Counter::LoadDeferred => "Uncounted pin-scoped reads (load_deferred/borrow)",
+            Counter::RcIncrement => "Reference-count increments",
+            Counter::RcDecrement => "Reference-count decrements",
+            Counter::DeferAppend => "Decrements parked on a deferred buffer",
+            Counter::DeferFlush => "Deferred-buffer flushes",
+            Counter::DeferFlushedEntries => "Parked decrements applied by flushes",
+            Counter::DeferDepthHighWater => "High-water mark of deferred-buffer depth",
+            Counter::PromoteSuccess => "Borrowed::promote upgrades that took a count",
+            Counter::PromoteFail => "Borrowed::promote refusals (count already zero)",
+            Counter::EpochPin => "Outermost epoch pins",
+            Counter::EpochAdvance => "Successful global-epoch advances",
+            Counter::EpochAdvanceBlocked => "Epoch advances refused by a pinned straggler",
+            Counter::EpochLagHighWater => "High-water mark of global-minus-pinned epoch lag",
+            Counter::EpochRetired => "Objects retired into the reclamation domain",
+            Counter::EpochFreed => "Retired objects whose deferred free has run",
+            Counter::McasDescResolve => "Reads that resolved an operation descriptor first",
+            Counter::McasHelp => "Foreign MCAS descriptors helped to completion",
+            Counter::RdcssHelp => "Foreign RDCSS descriptors helped out of a cell",
+            Counter::CensusAlloc => "Census: LFRC objects allocated",
+            Counter::CensusFree => "Census: LFRC objects logically freed",
+            Counter::CensusRcOnFreed => "Census: count mutations touching a freed object",
+            Counter::PoolMagazineHit => "Pool allocations served from a thread magazine",
+            Counter::PoolMagazineMiss => "Pool allocations that missed the magazine",
+            Counter::PoolRemoteFree => "Slots pushed onto a slab's remote-free stack",
+            Counter::PoolSlabAlloc => "Slabs mapped from the OS",
+            Counter::PoolSlabRetire => "Fully-free slabs handed back to the OS",
+            Counter::PoolSlabsLiveHighWater => "High-water mark of live slabs",
+            Counter::DeferredIncAppend => "Pending increments appended to an inc buffer",
+            Counter::DeferredIncSettle => "Pending increments folded in at settle",
+            Counter::DeferredIncCancel => "Pending increments annihilated before settle",
+            Counter::DeferredIncRetire => "Count releases epoch-retired instead of eager",
+            Counter::EpochAdvanceGated => "Epoch advances refused by the advance gate",
+            Counter::DescImmortalReuse => "Immortal descriptor slot reuses",
+            Counter::DescSeqInvalid => "Helper validations that found a stale sequence",
+            Counter::DescHelpAbandoned => "Help attempts abandoned on sequence mismatch",
+        }
+    }
+
     /// High-water marks merge across shards (and diff across snapshots)
     /// with `max`; everything else is a monotonic sum.
     pub fn is_high_water(self) -> bool {
@@ -228,8 +271,9 @@ impl Counter {
 pub const COUNTER_COUNT: usize = Counter::ALL.len();
 
 #[cfg(feature = "enabled")]
-mod imp {
+pub(crate) mod imp {
     use super::{Counter, COUNTER_COUNT};
+    use crate::hist::{Hist, HistBlock, HIST_COUNT};
     use std::cell::Cell;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::{Arc, Mutex, OnceLock};
@@ -237,10 +281,15 @@ mod imp {
     /// One thread's counter block. Aligned past a cache line so two
     /// threads' shards never share one (the shard is written by exactly
     /// one thread; alignment keeps aggregation reads from bouncing the
-    /// writer's line).
+    /// writer's line). The log-linear histogram blocks (`crate::hist`)
+    /// live inline here so one claim/vacate registry covers both: a
+    /// histogram bump is the same single-writer relaxed store as a
+    /// counter bump, and totals survive thread exit identically.
     #[repr(align(128))]
-    pub(super) struct Shard {
+    pub(crate) struct Shard {
         vals: [AtomicU64; COUNTER_COUNT],
+        /// Per-thread latency histograms, one per [`Hist`] variant.
+        pub(crate) hists: [HistBlock; HIST_COUNT],
         /// Whether a live thread currently owns this shard.
         claimed: AtomicBool,
     }
@@ -249,6 +298,7 @@ mod imp {
         fn new() -> Self {
             Shard {
                 vals: std::array::from_fn(|_| AtomicU64::new(0)),
+                hists: std::array::from_fn(|_| HistBlock::new()),
                 claimed: AtomicBool::new(true),
             }
         }
@@ -388,6 +438,45 @@ mod imp {
                 cell.fetch_max(v, Ordering::Relaxed);
             },
         );
+    }
+
+    /// Records one histogram sample on the calling thread's shard
+    /// (single-writer bump), or on the shared exit shard during TLS
+    /// teardown (RMW bump) — the histogram twin of [`add`].
+    #[inline]
+    pub(crate) fn hist_record(h: Hist, ns: u64) {
+        let hit = SHARD_PTR
+            .try_with(|p| {
+                let ptr = p.get();
+                if ptr.is_null() {
+                    return false;
+                }
+                // Safety: as in `with_cell` — non-null means the guard
+                // installed it and has not dropped; shards are permanent.
+                unsafe { (*ptr).hists[h as usize].record_owned(ns) };
+                true
+            })
+            .unwrap_or(false);
+        if !hit {
+            hist_record_slow(h, ns);
+        }
+    }
+
+    #[cold]
+    fn hist_record_slow(h: Hist, ns: u64) {
+        match SHARD.try_with(|g| g.0.hists[h as usize].record_owned(ns)) {
+            Ok(()) => {}
+            Err(_) => exit_shard().hists[h as usize].record_shared(ns),
+        }
+    }
+
+    /// Walks every shard ever registered (aggregation: histogram and
+    /// future whole-shard readers).
+    pub(crate) fn for_each_shard(mut f: impl FnMut(&Shard)) {
+        let reg = registry().lock().unwrap();
+        for shard in reg.iter() {
+            f(shard);
+        }
     }
 
     pub(super) fn totals() -> [u64; COUNTER_COUNT] {

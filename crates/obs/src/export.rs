@@ -52,11 +52,11 @@ impl Snapshot {
         Snapshot { vals }
     }
 
-    /// Prometheus text exposition: `# TYPE` lines (`counter` for
-    /// monotonic values, `gauge` for high-water marks) followed by
-    /// `lfrc_<name> <value>`.
+    /// Prometheus text exposition: per metric a `# HELP` line, a
+    /// `# TYPE` line (`counter` for monotonic values, `gauge` for
+    /// high-water marks), then `lfrc_<name> <value>`.
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::with_capacity(COUNTER_COUNT * 64);
+        let mut out = String::with_capacity(COUNTER_COUNT * 128);
         for c in Counter::ALL {
             let kind = if c.is_high_water() {
                 "gauge"
@@ -64,8 +64,9 @@ impl Snapshot {
                 "counter"
             };
             out.push_str(&format!(
-                "# TYPE lfrc_{name} {kind}\nlfrc_{name} {val}\n",
+                "# HELP lfrc_{name} {help}\n# TYPE lfrc_{name} {kind}\nlfrc_{name} {val}\n",
                 name = c.name(),
+                help = c.help(),
                 val = self.get(c),
             ));
         }
@@ -87,6 +88,23 @@ impl Snapshot {
         out.push('}');
         out
     }
+}
+
+/// The full live Prometheus exposition: every counter (from a fresh
+/// [`Snapshot`]) followed by every registry histogram
+/// ([`HistSnapshot::take`](crate::hist::HistSnapshot::take)) as a
+/// cumulative-bucket histogram series. This is what the `/metrics`
+/// endpoint serves; with the `enabled` feature off every value reads
+/// zero (the endpoint itself is inert then).
+pub fn prometheus_exposition() -> String {
+    let mut out = Snapshot::take().to_prometheus();
+    for h in crate::hist::Hist::ALL {
+        out.push_str(
+            &crate::hist::HistSnapshot::take(h)
+                .to_prometheus(&format!("lfrc_{}", h.name()), h.help()),
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -121,9 +139,111 @@ mod tests {
     #[test]
     fn prometheus_text_shape() {
         let text = snap_with(Counter::LoadDcasRetry, 4).to_prometheus();
+        assert!(text.contains("# HELP lfrc_load_dcas_retries "));
         assert!(text.contains("# TYPE lfrc_load_dcas_retries counter\n"));
         assert!(text.contains("lfrc_load_dcas_retries 4\n"));
         assert!(text.contains("# TYPE lfrc_defer_depth_high_water gauge\n"));
+    }
+
+    /// Validates `text` against the Prometheus text-format grammar:
+    /// every sample line is `name{labels}? value`, every metric family
+    /// is announced by `# HELP` then `# TYPE` *before* its samples, the
+    /// TYPE is one we emit, names are legal identifiers, and values
+    /// parse as numbers. (No external deps, so the grammar is checked
+    /// by hand — the same checks the CI smoke job re-runs over a live
+    /// scrape.)
+    fn assert_prometheus_grammar(text: &str) {
+        use std::collections::HashMap;
+        let name_ok = |n: &str| {
+            !n.is_empty()
+                && n.chars().next().unwrap().is_ascii_alphabetic()
+                && n.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        // metric family -> (saw_help, saw_type, type)
+        let mut families: HashMap<String, (bool, bool, String)> = HashMap::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP needs text");
+                assert!(name_ok(name), "bad HELP name {name:?}");
+                assert!(!help.is_empty());
+                let e = families.entry(name.to_string()).or_default();
+                assert!(!e.1, "HELP for {name} must precede TYPE");
+                e.0 = true;
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE needs a kind");
+                assert!(name_ok(name), "bad TYPE name {name:?}");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unexpected TYPE {kind} for {name}"
+                );
+                let e = families.entry(name.to_string()).or_default();
+                assert!(e.0, "TYPE for {name} must follow HELP");
+                e.1 = true;
+                e.2 = kind.to_string();
+            } else {
+                assert!(!line.starts_with('#'), "unknown comment line {line:?}");
+                let (series, value) = line.rsplit_once(' ').expect("sample needs a value");
+                value
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("bad value in {line:?}"));
+                let (name, labels) = match series.split_once('{') {
+                    Some((n, rest)) => {
+                        let rest = rest.strip_suffix('}').expect("unterminated labels");
+                        // We only emit `le="..."`; check the shape.
+                        let (k, v) = rest.split_once('=').expect("label needs =");
+                        assert!(name_ok(k), "bad label name {k:?}");
+                        assert!(
+                            v.starts_with('"') && v.ends_with('"'),
+                            "unquoted label {v:?}"
+                        );
+                        (n, true)
+                    }
+                    None => (series, false),
+                };
+                assert!(name_ok(name), "bad sample name {name:?}");
+                // Map histogram _bucket/_sum/_count samples to their family.
+                let family = ["_bucket", "_sum", "_count"]
+                    .iter()
+                    .find_map(|suf| {
+                        name.strip_suffix(suf)
+                            .filter(|base| families.get(*base).is_some_and(|e| e.2 == "histogram"))
+                    })
+                    .unwrap_or(name);
+                let e = families
+                    .get(family)
+                    .unwrap_or_else(|| panic!("sample {name} before HELP/TYPE"));
+                assert!(e.0 && e.1, "sample {name} before HELP/TYPE");
+                if labels {
+                    assert_eq!(e.2, "histogram", "only histograms carry le labels");
+                }
+            }
+        }
+        assert!(!families.is_empty());
+        for (name, (h, t, _)) in &families {
+            assert!(*h && *t, "family {name} missing HELP or TYPE");
+        }
+    }
+
+    #[test]
+    fn counter_exposition_is_grammatical() {
+        assert_prometheus_grammar(&snap_with(Counter::LoadDcasRetry, 4).to_prometheus());
+    }
+
+    #[test]
+    fn full_exposition_is_grammatical_and_complete() {
+        let text = prometheus_exposition();
+        assert_prometheus_grammar(&text);
+        for c in Counter::ALL {
+            assert!(text.contains(&format!("lfrc_{}", c.name())));
+        }
+        for h in crate::hist::Hist::ALL {
+            assert!(text.contains(&format!("# TYPE lfrc_{} histogram", h.name())));
+            assert!(text.contains(&format!("lfrc_{}_bucket{{le=\"+Inf\"}}", h.name())));
+        }
     }
 
     #[test]

@@ -1,0 +1,683 @@
+//! Log-linear latency histograms (HDR-style), sharded per thread.
+//!
+//! `harness::latency::LatencyHistogram`'s log₂ buckets answer "which
+//! order of magnitude" — good enough for the E11 stall contrasts, but a
+//! factor-of-two quantile error and a *shared* bucket array that every
+//! recording thread bounces. This module replaces it on the recorded
+//! paths with the classic HDR layout:
+//!
+//! * **log₂ major buckets × 16 linear sub-buckets.** A sample `v ≥ 16`
+//!   lands in major bucket `m = ⌊log₂ v⌋`, sub-bucket
+//!   `(v >> (m − 4)) & 15`; values below 16 are direct-indexed (exact).
+//!   A sub-bucket's width is `2^(m−4)`, so the upper bound reported for
+//!   any quantile overshoots the true sample by less than
+//!   `2^(m−4) / 2^m = 1/16` — **≤ 6.25 % relative error**, versus ≤ 100 %
+//!   for plain log₂ buckets.
+//! * **Per-thread shards.** The registry-backed entry point [`record`]
+//!   bumps a histogram block embedded in the calling thread's counter
+//!   shard (`counters::Shard`) — the same claim/vacate registry, so
+//!   totals survive thread exit exactly like counters do, and each bump
+//!   is a single-writer relaxed load+store (no RMW lock prefix, no
+//!   cross-thread cache traffic).
+//! * **Mergeable snapshots.** [`HistSnapshot`] merges (for aggregation),
+//!   diffs (for per-phase deltas), extracts quantiles, and renders
+//!   Prometheus cumulative `_bucket`/`_sum`/`_count` series.
+//!
+//! The standalone [`Histogram`] type (multi-writer, `fetch_add`) is
+//! **not** feature-gated: it is a plain data structure with no TLS or
+//! registry behind it, usable by benches that want a private histogram
+//! per measurement (E11's per-regime tables). Only the registry entry
+//! points ([`record`], [`HistSnapshot::take`]) compile to no-ops when
+//! the `enabled` feature is off.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Linear sub-buckets per major (power-of-two) bucket: `2^SUB_BITS`.
+const SUB_BITS: usize = 4;
+/// Sub-buckets per major bucket.
+const SUB: usize = 1 << SUB_BITS;
+/// Largest major bucket exponent tracked at full resolution. Values at
+/// or above `2^(MAX_MAJOR+1)` ns (≈ 18 minutes) clamp into the last
+/// slot; the exact maximum is tracked separately, so `quantile_ns`
+/// stays truthful at the very top.
+const MAX_MAJOR: usize = 39;
+
+/// Total bucket slots: 16 exact low slots + 16 per major bucket.
+pub const SLOTS: usize = SUB + (MAX_MAJOR - SUB_BITS + 1) * SUB;
+
+/// Slot index for a sample (clamped into the last slot on overflow).
+#[inline]
+pub fn slot_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let major = 63 - v.leading_zeros() as usize;
+    if major > MAX_MAJOR {
+        return SLOTS - 1;
+    }
+    let sub = ((v >> (major - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    SUB + (major - SUB_BITS) * SUB + sub
+}
+
+/// Inclusive upper bound of slot `i` (the value a quantile reports).
+#[inline]
+pub fn slot_upper_bound(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let j = i - SUB;
+    let major = SUB_BITS + j / SUB;
+    let sub = (j % SUB) as u64;
+    (1u64 << major) + ((sub + 1) << (major - SUB_BITS)) - 1
+}
+
+/// Every latency distribution the protocol records. One histogram per
+/// variant per thread shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+#[repr(usize)]
+pub enum Hist {
+    /// Per-operation latency on the harness's *recorded* runners
+    /// (`run_ops_recorded` / `run_for_duration_recorded`): one sample
+    /// per workload operation, in nanoseconds.
+    OpLatencyNs = 0,
+    /// Reclamation grace-period latency: retire (`defer_destroy`) to
+    /// the deferred action actually running, in nanoseconds. The
+    /// reclamation-lag signal — a stalled thread shows up here as a
+    /// growing tail long before memory growth is visible.
+    GraceLatencyNs,
+}
+
+impl Hist {
+    /// Every variant, in discriminant order (the shard layout).
+    pub const ALL: [Hist; 2] = [Hist::OpLatencyNs, Hist::GraceLatencyNs];
+
+    /// Stable snake_case metric name (JSON key; Prometheus name after
+    /// the `lfrc_` prefix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::OpLatencyNs => "op_latency_ns",
+            Hist::GraceLatencyNs => "grace_latency_ns",
+        }
+    }
+
+    /// One-line `# HELP` text for the Prometheus exposition.
+    pub fn help(self) -> &'static str {
+        match self {
+            Hist::OpLatencyNs => "Per-operation latency on recorded harness runners (ns)",
+            Hist::GraceLatencyNs => "Reclamation grace period, retire to deferred free (ns)",
+        }
+    }
+}
+
+/// Number of histograms in a shard.
+pub const HIST_COUNT: usize = Hist::ALL.len();
+
+/// One histogram's storage: the bucket array plus exact sum and max.
+/// Embedded (inline, not boxed) in each thread's counter shard so the
+/// claim/vacate registry covers it, and usable standalone through
+/// [`Histogram`]. The total count is derived from the buckets, so a
+/// `record` touches exactly two cells plus a conditional max store.
+pub(crate) struct HistBlock {
+    buckets: [AtomicU64; SLOTS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistBlock {
+    pub(crate) fn new() -> Self {
+        HistBlock {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Single-writer bump (registry shards: only the owning thread
+    /// writes, so plain load+store avoids the RMW lock prefix). Only
+    /// the `enabled` registry calls this; ungated builds use
+    /// [`HistBlock::record_shared`] via [`Histogram`].
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    #[inline]
+    pub(crate) fn record_owned(&self, v: u64) {
+        let b = &self.buckets[slot_of(v)];
+        b.store(b.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+        self.sum.store(
+            self.sum.load(Ordering::Relaxed).wrapping_add(v),
+            Ordering::Relaxed,
+        );
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Multi-writer bump (the shared exit shard and standalone
+    /// [`Histogram`]s recorded from several threads).
+    #[inline]
+    pub(crate) fn record_shared(&self, v: u64) {
+        self.buckets[slot_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Folds this block into an accumulating snapshot.
+    pub(crate) fn merge_into(&self, buckets: &mut [u64; SLOTS], sum: &mut u64, max: &mut u64) {
+        for (acc, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *acc += b.load(Ordering::Relaxed);
+        }
+        *sum = sum.wrapping_add(self.sum.load(Ordering::Relaxed));
+        *max = (*max).max(self.max.load(Ordering::Relaxed));
+    }
+}
+
+impl fmt::Debug for HistBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HistBlock").finish_non_exhaustive()
+    }
+}
+
+/// A standalone concurrent log-linear histogram.
+///
+/// Multi-writer (`fetch_add` bumps): share it across worker threads of
+/// one measurement, then read via [`Histogram::snapshot`]. This is the
+/// migration target for `harness::latency::LatencyHistogram`.
+///
+/// # Example
+///
+/// ```
+/// use lfrc_obs::hist::Histogram;
+///
+/// let h = Histogram::new();
+/// for ns in [100, 110, 120, 10_000] {
+///     h.record(ns);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count(), 4);
+/// assert!(s.quantile_ns(0.5) <= s.quantile_ns(0.99));
+/// // ≤ 6.25% relative error: the p100 bound is within 1/16 of the max.
+/// assert!(s.quantile_ns(1.0) <= 10_000 + 10_000 / 16);
+/// ```
+pub struct Histogram {
+    block: Box<HistBlock>,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count())
+            .field("p50_ns", &s.quantile_ns(0.5))
+            .field("p99_ns", &s.quantile_ns(0.99))
+            .field("max_ns", &s.max_ns())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            block: Box::new(HistBlock::new()),
+        }
+    }
+
+    /// Records one sample, in nanoseconds.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.block.record_shared(ns);
+    }
+
+    /// Times `f` and records its duration.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.record(start.elapsed().as_nanos() as u64);
+        r
+    }
+
+    /// Freezes the current contents.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Box::new([0u64; SLOTS]);
+        let (mut sum, mut max) = (0u64, 0u64);
+        self.block.merge_into(&mut buckets, &mut sum, &mut max);
+        HistSnapshot::from_parts(buckets, sum, max)
+    }
+}
+
+/// Frozen histogram contents: mergeable, diffable, quantile-extractable,
+/// and renderable as a Prometheus cumulative histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Box<[u64; SLOTS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// An all-zero snapshot.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: Box::new([0u64; SLOTS]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn from_parts(buckets: Box<[u64; SLOTS]>, sum: u64, max: u64) -> Self {
+        let count = buckets.iter().sum();
+        HistSnapshot {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
+    /// Freezes the registry-wide totals of histogram `h` (merged across
+    /// every thread shard ever claimed, including exited threads'). All
+    /// zeros when the `enabled` feature is off.
+    pub fn take(h: Hist) -> HistSnapshot {
+        #[cfg(feature = "enabled")]
+        {
+            let mut buckets = Box::new([0u64; SLOTS]);
+            let (mut sum, mut max) = (0u64, 0u64);
+            crate::counters::imp::for_each_shard(|shard| {
+                shard.hists[h as usize].merge_into(&mut buckets, &mut sum, &mut max);
+            });
+            HistSnapshot::from_parts(buckets, sum, max)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = h;
+            HistSnapshot::empty()
+        }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (nanoseconds).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (exact, unlike the bucketed quantiles).
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 for an empty snapshot).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Pointwise sum with `other` (merge = concatenation of the sample
+    /// streams; the max is the max of the two).
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        let mut buckets = Box::new([0u64; SLOTS]);
+        for (i, acc) in buckets.iter_mut().enumerate() {
+            *acc = self.buckets[i] + other.buckets[i];
+        }
+        HistSnapshot::from_parts(
+            buckets,
+            self.sum.wrapping_add(other.sum),
+            self.max.max(other.max),
+        )
+    }
+
+    /// Change since `earlier`: bucket counts and the sum subtract
+    /// (saturating); the max keeps *this* snapshot's value — like the
+    /// counter high-water marks, "largest sample ever" does not
+    /// difference into a per-phase quantity.
+    pub fn diff(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let mut buckets = Box::new([0u64; SLOTS]);
+        for (i, acc) in buckets.iter_mut().enumerate() {
+            *acc = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        HistSnapshot::from_parts(buckets, self.sum.saturating_sub(earlier.sum), self.max)
+    }
+
+    /// Approximate quantile: the inclusive upper bound of the sub-bucket
+    /// containing the `q`-quantile sample, clamped by the exact max.
+    /// Relative overshoot is bounded by the sub-bucket width — 1/16
+    /// (6.25 %) of the value — versus a factor of two for log₂ buckets.
+    /// `q` in `[0, 1]`; returns 0 for an empty snapshot.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return slot_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of samples at or above `threshold_ns` (sub-bucket
+    /// resolution: counts every slot whose *lower* bound reaches the
+    /// threshold, so the estimate errs low by at most one sub-bucket).
+    pub fn fraction_at_or_above_ns(&self, threshold_ns: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // First slot wholly at or above the threshold: skip the slot
+        // containing the threshold unless the threshold is its lower
+        // bound (slot bounds are inclusive, so lower bound of slot i is
+        // upper_bound(i-1) + 1).
+        let mut first = slot_of(threshold_ns);
+        let lower = if first == 0 {
+            0
+        } else {
+            slot_upper_bound(first - 1) + 1
+        };
+        if lower < threshold_ns {
+            first += 1;
+        }
+        if first >= SLOTS {
+            return 0.0;
+        }
+        let above: u64 = self.buckets[first..].iter().sum();
+        above as f64 / self.count as f64
+    }
+
+    /// The standard quantile row used in experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "p50={} p90={} p99={} p999={} max={} n={}",
+            self.quantile_ns(0.5),
+            self.quantile_ns(0.9),
+            self.quantile_ns(0.99),
+            self.quantile_ns(0.999),
+            self.max,
+            self.count,
+        )
+    }
+
+    /// Prometheus text exposition of one histogram metric: `# HELP`,
+    /// `# TYPE <name> histogram`, cumulative `_bucket{le="..."}` lines
+    /// (one per major bucket boundary — full sub-bucket resolution
+    /// would be ~600 series; scrape consumers only need the decade
+    /// shape, quantiles stay full-resolution in-process), `_sum`, and
+    /// `_count`.
+    pub fn to_prometheus(&self, name: &str, help: &str) -> String {
+        let mut out = String::with_capacity(64 * (MAX_MAJOR + 4));
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        let mut cum = 0u64;
+        let mut slot = 0usize;
+        // First boundary: the exact low slots (le="15"), then one
+        // boundary per major bucket (le = 2^(m+1) - 1, inclusive).
+        let emit = |out: &mut String, upto: usize, le: u64, cum: &mut u64, slot: &mut usize| {
+            while *slot < upto {
+                *cum += self.buckets[*slot];
+                *slot += 1;
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        };
+        emit(&mut out, SUB, SUB as u64 - 1, &mut cum, &mut slot);
+        for major in SUB_BITS..=MAX_MAJOR {
+            let upto = SUB + (major - SUB_BITS + 1) * SUB;
+            emit(
+                &mut out,
+                upto,
+                (1u64 << (major + 1)) - 1,
+                &mut cum,
+                &mut slot,
+            );
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", self.count));
+        out.push_str(&format!("{name}_sum {}\n", self.sum));
+        out.push_str(&format!("{name}_count {}\n", self.count));
+        out
+    }
+
+    /// Compact JSON summary object (for phase records and timeline
+    /// rows): counts, sum, max, and the standard quantiles. The full
+    /// bucket array stays in-process — consumers that need the shape
+    /// scrape `/metrics`.
+    pub fn to_json_summary(&self) -> String {
+        format!(
+            "{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+            self.count,
+            self.sum,
+            self.max,
+            self.quantile_ns(0.5),
+            self.quantile_ns(0.9),
+            self.quantile_ns(0.99),
+            self.quantile_ns(0.999),
+        )
+    }
+}
+
+/// Records one sample into histogram `h` on the calling thread's
+/// registry shard (single-writer relaxed bump; totals survive thread
+/// exit through the claim/vacate registry). No-op when the `enabled`
+/// feature is off.
+#[inline(always)]
+pub fn record(h: Hist, ns: u64) {
+    #[cfg(feature = "enabled")]
+    crate::counters::imp::hist_record(h, ns);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (h, ns);
+}
+
+/// Times `f` and records its duration into histogram `h`. When the
+/// `enabled` feature is off this does not even read the clock.
+#[inline(always)]
+pub fn time<R>(h: Hist, f: impl FnOnce() -> R) -> R {
+    #[cfg(feature = "enabled")]
+    {
+        let start = Instant::now();
+        let r = f();
+        record(h, start.elapsed().as_nanos() as u64);
+        r
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = h;
+        f()
+    }
+}
+
+/// Monotonic nanoseconds since the first call in this process — the
+/// timestamp base for grace-period latency (`lfrc-reclaim` stamps
+/// retirement with it and diffs at free time). Returns 0 when the
+/// `enabled` feature is off, so callers can use "0" as "not stamped".
+#[inline]
+pub fn now_ns() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        // Saturate at 1 so a caller's "0 means unstamped" convention
+        // holds even for the very first call.
+        (EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64).max(1)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_math_roundtrips() {
+        // Every slot's upper bound maps back into that slot, bounds are
+        // strictly increasing, and the exact low slots are exact.
+        let mut prev = None;
+        for i in 0..SLOTS {
+            let ub = slot_upper_bound(i);
+            assert_eq!(slot_of(ub), i, "upper bound of slot {i} maps elsewhere");
+            if let Some(p) = prev {
+                assert!(ub > p, "bounds must increase");
+            }
+            prev = Some(ub);
+        }
+        for v in 0..16u64 {
+            assert_eq!(slot_upper_bound(slot_of(v)), v);
+        }
+        // Overflow clamps to the last slot.
+        assert_eq!(slot_of(u64::MAX), SLOTS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // For any value, the reported bound overshoots by < 1/16.
+        for &v in &[17u64, 100, 999, 4_096, 65_537, 1_000_000, 123_456_789] {
+            let ub = slot_upper_bound(slot_of(v));
+            assert!(ub >= v);
+            assert!(
+                (ub - v) as f64 / v as f64 <= 1.0 / 16.0,
+                "slot for {v} overshoots to {ub}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_monotone_and_clamped_by_max() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 13);
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.quantile_ns(0.5), s.quantile_ns(0.9), s.quantile_ns(0.99));
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(s.quantile_ns(1.0) <= s.max_ns());
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum_ns(), 13 * 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile_ns(0.99), 0);
+        assert_eq!(s.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concat() {
+        let (a, b, all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..4000u64 {
+            // SplitMix64 step for spread-out values.
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            let v = (z ^ (z >> 31)) % 1_000_000;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            all.record(v);
+        }
+        assert_eq!(a.snapshot().merge(&b.snapshot()), all.snapshot());
+    }
+
+    #[test]
+    fn diff_subtracts_and_keeps_max() {
+        let h = Histogram::new();
+        h.record(100);
+        let early = h.snapshot();
+        h.record(10_000);
+        let late = h.snapshot();
+        let d = late.diff(&early);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.max_ns(), 10_000);
+        assert!(d.quantile_ns(1.0) >= 10_000 - 10_000 / 16);
+    }
+
+    #[test]
+    fn prometheus_render_is_cumulative() {
+        let h = Histogram::new();
+        for v in [1u64, 20, 300, 4_000, 50_000] {
+            h.record(v);
+        }
+        let text = h.snapshot().to_prometheus("lfrc_test_ns", "test");
+        assert!(text.starts_with("# HELP lfrc_test_ns test\n# TYPE lfrc_test_ns histogram\n"));
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+            bucket_lines += 1;
+        }
+        assert_eq!(last, 5, "+Inf bucket must equal the count");
+        assert!(bucket_lines > 10);
+        assert!(text.contains("lfrc_test_ns_sum 54321\n"));
+        assert!(text.contains("lfrc_test_ns_count 5\n"));
+    }
+
+    #[test]
+    fn fraction_at_or_above() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        let f = s.fraction_at_or_above_ns(500_000);
+        assert!((f - 0.1).abs() < 1e-9, "got {f}");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn registry_records_survive_thread_exit() {
+        let before = HistSnapshot::take(Hist::OpLatencyNs);
+        std::thread::spawn(|| {
+            record(Hist::OpLatencyNs, 1_000);
+            record(Hist::OpLatencyNs, 2_000);
+        })
+        .join()
+        .unwrap();
+        std::thread::spawn(|| {
+            record(Hist::OpLatencyNs, 3_000);
+        })
+        .join()
+        .unwrap();
+        let delta = HistSnapshot::take(Hist::OpLatencyNs).diff(&before);
+        assert_eq!(delta.count(), 3);
+        assert_eq!(delta.sum_ns(), 6_000);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_registry_reads_all_zeros() {
+        record(Hist::OpLatencyNs, 1_000);
+        assert_eq!(HistSnapshot::take(Hist::OpLatencyNs).count(), 0);
+        assert_eq!(now_ns(), 0);
+    }
+}

@@ -20,6 +20,23 @@
 //!   Prometheus-style text and JSON emitters; the harness records one
 //!   snapshot per experiment phase into `experiment-results/obs/`.
 //!
+//! The **live telemetry** layer builds on the same shard registry:
+//!
+//! * [`hist`] — per-thread log-linear **latency histograms** (log₂ major
+//!   buckets × 16 linear sub-buckets, ≤6.25 % relative quantile error)
+//!   living inside the counter shards, so recording is two single-writer
+//!   relaxed stores and totals survive thread exit exactly like counters.
+//!   [`HistSnapshot`](hist::HistSnapshot) merges, diffs, quantiles, and
+//!   renders Prometheus cumulative buckets.
+//! * [`sampler`] — an opt-in background **timeline sampler** that
+//!   snapshots counters + histograms every N ms and appends one JSONL
+//!   row (rates, gauges, latency deltas) per tick to
+//!   `experiment-results/obs/<experiment>.timeline.jsonl`.
+//! * [`serve`] — a dependency-free **HTTP endpoint**
+//!   ([`serve_metrics`](serve::serve_metrics) / `LFRC_OBS_ADDR`) serving
+//!   `/metrics` Prometheus text and `/timeline` JSON from the live
+//!   registry while an experiment runs.
+//!
 //! A fourth piece, [`instrument`], is **not** feature-gated: it hosts the
 //! cross-crate yield points that `lfrc-sched` turns into deterministic
 //! preemption opportunities. It lives here (rather than in `lfrc-dcas`,
@@ -44,19 +61,26 @@
 
 pub mod counters;
 pub mod export;
+pub mod hist;
 pub mod instrument;
 pub mod recorder;
+pub mod sampler;
+pub mod serve;
 
 pub use counters::Counter;
 pub use export::Snapshot;
+pub use hist::{Hist, HistSnapshot, Histogram};
 pub use instrument::InstrSite;
 pub use recorder::EventKind;
+pub use sampler::Sampler;
+pub use serve::{serve_from_env, serve_metrics, MetricsServer};
 
 /// Whether this build records anything (`enabled` cargo feature).
 ///
-/// When `false`, every recording entry point in [`counters`] and
-/// [`recorder`] is an empty inline function and [`Snapshot`]s read all
-/// zeros.
+/// When `false`, every recording entry point in [`counters`],
+/// [`recorder`], and [`hist`] is an empty inline function,
+/// [`Snapshot`]s read all zeros, and the [`sampler`] / [`serve`]
+/// handles are inert (no thread, no socket).
 pub const fn enabled() -> bool {
     cfg!(feature = "enabled")
 }

@@ -1,0 +1,367 @@
+//! Timeline sampler: periodic snapshots of the live registry.
+//!
+//! End-of-run counter totals hide everything the reclamation-comparison
+//! literature says matters — epoch lag and reclamation backlog are
+//! *trajectories*, not totals (a scheme that recovers from a stall and
+//! one that never lags look identical post-hoc). The sampler is an
+//! opt-in background thread that, every `interval`:
+//!
+//! 1. snapshots the counter registry and both latency histograms,
+//! 2. derives per-second **rates** for every monotonic counter and a
+//!    small set of **gauges** (epoch lag, defer-depth high water, pool
+//!    slab footprint, reclamation backlog, desc-help-abandoned rate),
+//! 3. appends one JSON object per tick to
+//!    `experiment-results/obs/<experiment>.timeline.jsonl` (directory
+//!    overridable via `LFRC_OBS_DIR`, like the phase recorder), and
+//! 4. pushes the same row into a bounded in-memory ring that the
+//!    `/timeline` endpoint ([`crate::serve`]) serves live.
+//!
+//! The sampling thread only *reads* the registry (relaxed atomic loads
+//! of single-writer cells), so it cannot perturb the protocol any more
+//! than a scrape does. With the `enabled` feature off, [`start`]
+//! returns an inert handle: no thread, no file, zero rows.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where timeline files land unless `LFRC_OBS_DIR` overrides it
+/// (deliberately the same directory the phase recorder uses).
+pub const DEFAULT_OBS_DIR: &str = "experiment-results/obs";
+
+/// Handle to a running sampler thread. Dropping it stops the thread;
+/// [`Sampler::stop`] does the same but returns the file path written.
+#[derive(Debug)]
+pub struct Sampler {
+    #[cfg(feature = "enabled")]
+    inner: Option<imp::Running>,
+}
+
+/// Starts a sampler writing `<dir>/<experiment>.timeline.jsonl` every
+/// `interval`. A final row is emitted at stop time, so even a run
+/// shorter than one interval produces a parseable timeline. Inert (no
+/// thread, no file) when the `enabled` feature is off.
+pub fn start(experiment: &str, interval: Duration) -> std::io::Result<Sampler> {
+    #[cfg(feature = "enabled")]
+    {
+        Ok(Sampler {
+            inner: Some(imp::spawn(experiment, interval)?),
+        })
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (experiment, interval);
+        Ok(Sampler {})
+    }
+}
+
+impl Sampler {
+    /// Number of rows emitted so far (0 when disabled).
+    pub fn ticks(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.as_ref().map_or(0, |r| r.ticks())
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+
+    /// Stops the sampling thread (emitting one final row) and returns
+    /// the path of the timeline file, or `None` when disabled.
+    pub fn stop(mut self) -> Option<PathBuf> {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.take().map(imp::Running::stop)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            // `mut self` is only needed for the enabled path.
+            let _ = &mut self;
+            None
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(r) = self.inner.take() {
+            r.stop();
+        }
+    }
+}
+
+/// The most recent timeline rows (raw JSON objects, oldest first) from
+/// any sampler in this process — what `/timeline` serves. Empty when
+/// disabled or before the first tick.
+pub fn recent_rows() -> Vec<String> {
+    #[cfg(feature = "enabled")]
+    {
+        imp::recent_rows()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::DEFAULT_OBS_DIR;
+    use crate::counters::Counter;
+    use crate::hist::{Hist, HistSnapshot};
+    use crate::Snapshot;
+    use std::collections::VecDeque;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::{Duration, Instant};
+
+    /// Rows retained for `/timeline`.
+    const RING_CAP: usize = 512;
+
+    fn ring() -> &'static Mutex<VecDeque<String>> {
+        static RING: OnceLock<Mutex<VecDeque<String>>> = OnceLock::new();
+        RING.get_or_init(|| Mutex::new(VecDeque::new()))
+    }
+
+    pub(super) fn recent_rows() -> Vec<String> {
+        ring().lock().unwrap().iter().cloned().collect()
+    }
+
+    fn push_row(row: &str) {
+        let mut r = ring().lock().unwrap();
+        if r.len() == RING_CAP {
+            r.pop_front();
+        }
+        r.push_back(row.to_string());
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Running {
+        stop: Arc<AtomicBool>,
+        ticks: Arc<AtomicU64>,
+        path: PathBuf,
+        thread: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl Running {
+        pub(super) fn ticks(&self) -> u64 {
+            self.ticks.load(Ordering::Acquire)
+        }
+
+        pub(super) fn stop(mut self) -> PathBuf {
+            self.stop.store(true, Ordering::Release);
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+            self.path.clone()
+        }
+    }
+
+    impl Drop for Running {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::Release);
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    pub(super) fn spawn(experiment: &str, interval: Duration) -> std::io::Result<Running> {
+        let dir = std::env::var("LFRC_OBS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from(DEFAULT_OBS_DIR));
+        std::fs::create_dir_all(&dir)?;
+        let sanitized: String = experiment
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{sanitized}.timeline.jsonl"));
+        let mut file = std::fs::File::create(&path)?;
+        let interval = interval.max(Duration::from_millis(1));
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let ticks = Arc::new(AtomicU64::new(0));
+        let (stop2, ticks2) = (Arc::clone(&stop), Arc::clone(&ticks));
+        let interval_ms = interval.as_secs_f64() * 1e3;
+        let thread = std::thread::Builder::new()
+            .name("lfrc-obs-sampler".into())
+            .spawn(move || {
+                let start = Instant::now();
+                let mut prev = Snapshot::take();
+                let mut prev_hists: Vec<HistSnapshot> =
+                    Hist::ALL.iter().map(|&h| HistSnapshot::take(h)).collect();
+                let mut prev_t = start;
+                let mut tick = 0u64;
+                loop {
+                    // Sleep to the next tick boundary in short slices so
+                    // stop() returns promptly even for long intervals.
+                    let deadline = prev_t + interval;
+                    let stopping = loop {
+                        if stop2.load(Ordering::Acquire) {
+                            break true;
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break false;
+                        }
+                        std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+                    };
+
+                    let now = Instant::now();
+                    let dt = (now - prev_t).as_secs_f64().max(1e-9);
+                    let cur = Snapshot::take();
+                    let cur_hists: Vec<HistSnapshot> =
+                        Hist::ALL.iter().map(|&h| HistSnapshot::take(h)).collect();
+                    let row = render_row(
+                        tick,
+                        (now - start).as_secs_f64(),
+                        interval_ms,
+                        stopping,
+                        &cur,
+                        &prev,
+                        dt,
+                        &cur_hists,
+                        &prev_hists,
+                    );
+                    let _ = writeln!(file, "{row}");
+                    let _ = file.flush();
+                    push_row(&row);
+                    ticks2.store(tick + 1, Ordering::Release);
+                    tick += 1;
+                    prev = cur;
+                    prev_hists = cur_hists;
+                    prev_t = now;
+                    if stopping {
+                        return;
+                    }
+                }
+            })?;
+        Ok(Running {
+            stop,
+            ticks,
+            path,
+            thread: Some(thread),
+        })
+    }
+
+    /// One timeline row. Shape (all keys always present):
+    /// `{"tick":n,"elapsed_secs":s,"interval_ms":i,"final":bool,
+    ///   "counters":{...absolute totals...},
+    ///   "rates":{"<name>_per_sec":f,...}       // monotonic counters
+    ///   "gauges":{"epoch_lag":..,"defer_depth_high_water":..,
+    ///             "pool_slabs_live":..,"reclaim_pending":..,
+    ///             "desc_help_abandoned_per_sec":..},
+    ///   "hists":{"<name>":{"count":..,...,"p999_ns":..},...}}`
+    #[allow(clippy::too_many_arguments)]
+    fn render_row(
+        tick: u64,
+        elapsed: f64,
+        interval_ms: f64,
+        fin: bool,
+        cur: &Snapshot,
+        prev: &Snapshot,
+        dt: f64,
+        cur_hists: &[HistSnapshot],
+        prev_hists: &[HistSnapshot],
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(&format!(
+            "{{\"tick\":{tick},\"elapsed_secs\":{elapsed:.6},\"interval_ms\":{interval_ms:.3},\"final\":{fin},\"counters\":{}",
+            cur.to_json()
+        ));
+        out.push_str(",\"rates\":{");
+        let mut first = true;
+        for c in Counter::ALL {
+            if c.is_high_water() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let rate = cur.get(c).saturating_sub(prev.get(c)) as f64 / dt;
+            out.push_str(&format!("\"{}_per_sec\":{rate:.3}", c.name()));
+        }
+        out.push('}');
+        let abandoned_rate =
+            cur.get(Counter::DescHelpAbandoned)
+                .saturating_sub(prev.get(Counter::DescHelpAbandoned)) as f64
+                / dt;
+        out.push_str(&format!(
+            ",\"gauges\":{{\"epoch_lag\":{},\"defer_depth_high_water\":{},\"pool_slabs_live\":{},\"reclaim_pending\":{},\"desc_help_abandoned_per_sec\":{abandoned_rate:.3}}}",
+            cur.get(Counter::EpochLagHighWater),
+            cur.get(Counter::DeferDepthHighWater),
+            cur.get(Counter::PoolSlabsLiveHighWater),
+            cur.get(Counter::EpochRetired).saturating_sub(cur.get(Counter::EpochFreed)),
+        ));
+        out.push_str(",\"hists\":{");
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Per-tick delta distribution plus its cumulative count, so
+            // consumers get both the instantaneous shape and the total.
+            let delta = cur_hists[i].diff(&prev_hists[i]);
+            out.push_str(&format!(
+                "\"{}\":{{\"total_count\":{},\"delta\":{}}}",
+                h.name(),
+                cur_hists[i].count(),
+                delta.to_json_summary()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn sampler_emits_rows_and_final_tick() {
+        let dir = std::env::temp_dir().join(format!("lfrc-sampler-test-{}", std::process::id()));
+        std::env::set_var("LFRC_OBS_DIR", &dir);
+        let s = start("sampler_unit", Duration::from_millis(10)).expect("start");
+        crate::hist::record(crate::hist::Hist::OpLatencyNs, 1234);
+        std::thread::sleep(Duration::from_millis(55));
+        let ticks = s.ticks();
+        let path = s.stop().expect("enabled");
+        std::env::remove_var("LFRC_OBS_DIR");
+        assert!(ticks >= 2, "expected a few ticks, got {ticks}");
+        let body = std::fs::read_to_string(&path).expect("timeline file");
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines.len() as u64 >= ticks);
+        for (i, l) in lines.iter().enumerate() {
+            assert!(l.starts_with(&format!("{{\"tick\":{i},")), "row {i}: {l}");
+            assert!(l.ends_with("}}") || l.ends_with('}'), "row {i} truncated");
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+            assert!(l.contains("\"rates\":{") && l.contains("\"gauges\":{"));
+            assert!(l.contains("\"op_latency_ns\""));
+        }
+        assert!(lines.last().unwrap().contains("\"final\":true"));
+        assert!(!recent_rows().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_sampler_is_inert() {
+        let s = start("nope", Duration::from_millis(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(s.ticks(), 0);
+        assert_eq!(s.stop(), None);
+        assert!(recent_rows().is_empty());
+    }
+}

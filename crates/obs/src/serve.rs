@@ -1,0 +1,285 @@
+//! Dependency-free live `/metrics` endpoint.
+//!
+//! A soak run is only judgeable while it is running — post-hoc JSON
+//! says nothing about *when* the epoch started lagging. This module
+//! serves the live registry over plain HTTP from one
+//! `std::net::TcpListener` thread (no async runtime, no HTTP crate —
+//! the workspace builds offline):
+//!
+//! * `GET /metrics` — the full Prometheus text exposition
+//!   ([`crate::export::prometheus_exposition`]): every counter plus the
+//!   cumulative-bucket latency histograms, scraped straight from the
+//!   live shards (relaxed loads of single-writer cells — a scrape
+//!   cannot perturb the protocol).
+//! * `GET /timeline` — the sampler's recent rows
+//!   ([`crate::sampler::recent_rows`]) as a JSON array.
+//! * `GET /` — a one-line index.
+//!
+//! Start it explicitly with [`serve_metrics`] (any `host:port`; port 0
+//! picks an ephemeral one, see [`MetricsServer::local_addr`]) or let
+//! [`serve_from_env`] read `LFRC_OBS_ADDR` so any experiment binary
+//! grows the endpoint without code changes:
+//!
+//! ```bash
+//! LFRC_OBS_ADDR=127.0.0.1:9464 cargo run --release -p lfrc-bench --bin obs_smoke &
+//! curl -s http://127.0.0.1:9464/metrics | grep lfrc_op_latency
+//! ```
+//!
+//! With the `enabled` feature off, [`serve_metrics`] returns an inert
+//! handle (no socket, no thread) and [`serve_from_env`] returns `None`:
+//! the API compiles to a no-op exactly like the counters.
+
+use std::net::SocketAddr;
+
+/// Handle to a running metrics server. Dropping it (or calling
+/// [`MetricsServer::stop`]) shuts the listener thread down.
+#[derive(Debug)]
+pub struct MetricsServer {
+    #[cfg(feature = "enabled")]
+    inner: Option<imp::Running>,
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) and
+/// serves `/metrics` and `/timeline` from a single background thread.
+/// Inert when the `enabled` feature is off (no socket is bound and
+/// [`MetricsServer::local_addr`] returns `None`).
+pub fn serve_metrics(addr: &str) -> std::io::Result<MetricsServer> {
+    #[cfg(feature = "enabled")]
+    {
+        Ok(MetricsServer {
+            inner: Some(imp::spawn(addr)?),
+        })
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = addr;
+        Ok(MetricsServer {})
+    }
+}
+
+/// Starts a server on `LFRC_OBS_ADDR` when that variable is set (and
+/// the `enabled` feature is on); `None` otherwise. A malformed or
+/// unbindable address is an error — a soak asked to expose metrics
+/// should fail loudly, not silently run dark.
+pub fn serve_from_env() -> std::io::Result<Option<MetricsServer>> {
+    match std::env::var("LFRC_OBS_ADDR") {
+        Ok(addr) if cfg!(feature = "enabled") => serve_metrics(&addr).map(Some),
+        _ => Ok(None),
+    }
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0), `None` when inert.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.as_ref().map(|r| r.addr)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            None
+        }
+    }
+
+    /// Shuts the listener down and joins its thread.
+    pub fn stop(mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(r) = self.inner.take() {
+            r.stop();
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = &mut self;
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(r) = self.inner.take() {
+            r.stop();
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[derive(Debug)]
+    pub(super) struct Running {
+        pub(super) addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        thread: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl Running {
+        pub(super) fn stop(mut self) {
+            self.shutdown();
+        }
+
+        fn shutdown(&mut self) {
+            self.stop.store(true, Ordering::Release);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    impl Drop for Running {
+        fn drop(&mut self) {
+            if self.thread.is_some() {
+                self.shutdown();
+            }
+        }
+    }
+
+    pub(super) fn spawn(addr: &str) -> std::io::Result<Running> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("lfrc-obs-serve".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Ok(stream) = conn {
+                        // One request per connection, handled inline:
+                        // scrapers are rare and the responses are small,
+                        // so a second thread per connection buys nothing.
+                        let _ = handle(stream);
+                    }
+                }
+            })?;
+        Ok(Running {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    fn handle(mut stream: TcpStream) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+        // Read until the end of the request head (or the buffer fills —
+        // our routes have no bodies worth waiting for).
+        let mut buf = [0u8; 2048];
+        let mut n = 0;
+        while n < buf.len() {
+            let got = match stream.read(&mut buf[n..]) {
+                Ok(0) => break,
+                Ok(g) => g,
+                Err(_) => break,
+            };
+            n += got;
+            if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                break;
+            }
+        }
+        let head = String::from_utf8_lossy(&buf[..n]);
+        let mut parts = head.split_whitespace();
+        let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        let path = path.split('?').next().unwrap_or("");
+
+        let (status, content_type, body) = if method != "GET" {
+            (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "GET only\n".to_string(),
+            )
+        } else {
+            match path {
+                "/metrics" => (
+                    "200 OK",
+                    // The Prometheus text exposition format version.
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    crate::export::prometheus_exposition(),
+                ),
+                "/timeline" => {
+                    let rows = crate::sampler::recent_rows();
+                    let mut body =
+                        String::with_capacity(64 + rows.iter().map(String::len).sum::<usize>());
+                    body.push('[');
+                    for (i, r) in rows.iter().enumerate() {
+                        if i > 0 {
+                            body.push(',');
+                        }
+                        body.push_str(r);
+                    }
+                    body.push(']');
+                    ("200 OK", "application/json; charset=utf-8", body)
+                }
+                "/" => (
+                    "200 OK",
+                    "text/plain; charset=utf-8",
+                    "lfrc-obs: GET /metrics (Prometheus text) or /timeline (JSON)\n".to_string(),
+                ),
+                _ => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "not found\n".to_string(),
+                ),
+            }
+        };
+        let response = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        );
+        stream.write_all(response.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn serves_metrics_and_404s() {
+        use std::io::{Read, Write};
+        let server = serve_metrics("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("enabled");
+
+        let scrape = |path: &str| {
+            let mut s = std::net::TcpStream::connect(addr).expect("connect");
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut body = String::new();
+            s.read_to_string(&mut body).unwrap();
+            body
+        };
+
+        let metrics = scrape("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("# TYPE lfrc_epoch_pins counter"));
+        assert!(metrics.contains("lfrc_op_latency_ns_bucket{le=\"+Inf\"}"));
+
+        let timeline = scrape("/timeline");
+        assert!(timeline.contains("application/json"));
+        let body = timeline.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.starts_with('[') && body.trim_end().ends_with(']'));
+
+        assert!(scrape("/nope").starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_server_is_inert() {
+        let server = serve_metrics("127.0.0.1:0").unwrap();
+        assert_eq!(server.local_addr(), None);
+        server.stop();
+        // And the env entry point stays quiet even with the var set.
+        std::env::set_var("LFRC_OBS_ADDR", "127.0.0.1:0");
+        assert!(serve_from_env().unwrap().is_none());
+        std::env::remove_var("LFRC_OBS_ADDR");
+    }
+}

@@ -150,8 +150,14 @@ impl Participant {
 // Orphan garbage (from exited threads)
 // ---------------------------------------------------------------------------
 
+/// Bag entries everywhere are `(retire_epoch, retire_ns, deferred)`:
+/// the epoch drives eligibility, the timestamp (from
+/// `lfrc_obs::hist::now_ns`, `0` in no-op builds) feeds the
+/// `grace_latency_ns` histogram when the action finally executes.
+type Stamped = (u64, u64, Deferred);
+
 struct OrphanNode {
-    items: Vec<(u64, Deferred)>,
+    items: Vec<Stamped>,
     next: *mut OrphanNode,
 }
 
@@ -186,7 +192,7 @@ impl Drop for Inner {
         while !orphan.is_null() {
             // Safety: exclusively owned during drop.
             let node = unsafe { Box::from_raw(orphan) };
-            for (_, d) in node.items {
+            for (_, _, d) in node.items {
                 d.execute();
                 self.stats.note_freed(1);
             }
@@ -361,7 +367,7 @@ impl Collector {
     }
 
     /// Pushes a bag of stamped garbage onto the orphan list.
-    fn push_orphans(&self, items: Vec<(u64, Deferred)>) {
+    fn push_orphans(&self, items: Vec<Stamped>) {
         if items.is_empty() {
             return;
         }
@@ -419,10 +425,10 @@ pub struct LocalHandle {
     collector: Collector,
     participant: *const Participant,
     pin_depth: Cell<usize>,
-    /// Garbage retired by this thread, stamped with its retirement epoch.
-    /// Epochs are appended in nondecreasing order, so eligibility is a
-    /// prefix test.
-    bag: UnsafeCell<Vec<(u64, Deferred)>>,
+    /// Garbage retired by this thread, stamped with its retirement epoch
+    /// and wall time. Epochs are appended in nondecreasing order, so
+    /// eligibility is a prefix test.
+    bag: UnsafeCell<Vec<Stamped>>,
     /// Opt out of `Send`/`Sync`.
     _not_send: PhantomData<*mut ()>,
 }
@@ -503,7 +509,7 @@ impl LocalHandle {
     }
 
     #[allow(clippy::mut_from_ref)] // single-threaded interior mutability, see safety note
-    fn bag_mut(&self) -> &mut Vec<(u64, Deferred)> {
+    fn bag_mut(&self) -> &mut Vec<Stamped> {
         // Safety: `LocalHandle` is `!Send + !Sync`; only the owning thread
         // reaches this cell, and no reentrancy touches the bag while a
         // mutable borrow is live (collection never calls user code that
@@ -514,7 +520,8 @@ impl LocalHandle {
 
     fn retire(&self, deferred: Deferred) {
         let epoch = self.collector.inner.global_epoch.load(Ordering::Acquire);
-        self.bag_mut().push((epoch, deferred));
+        self.bag_mut()
+            .push((epoch, lfrc_obs::hist::now_ns(), deferred));
         self.collector.inner.stats.note_retired(1);
         if self.bag_mut().len() >= COLLECT_THRESHOLD {
             self.collect();
@@ -560,15 +567,22 @@ impl LocalHandle {
         // handle (a pooled-slot release that empties its slab defers the
         // slab's own deallocation), which would otherwise push into the
         // bag while `drain` holds the mutable borrow.
-        let eligible: Vec<Deferred> = {
+        let eligible: Vec<(u64, Deferred)> = {
             let bag = self.bag_mut();
-            let n = bag.iter().take_while(|(e, _)| e + 2 <= global).count();
-            bag.drain(..n).map(|(_, d)| d).collect()
+            let n = bag.iter().take_while(|(e, _, _)| e + 2 <= global).count();
+            bag.drain(..n).map(|(_, ts, d)| (ts, d)).collect()
         };
         if !eligible.is_empty() {
             let freed = eligible.len() as u64;
-            for d in eligible {
+            let now = lfrc_obs::hist::now_ns();
+            for (ts, d) in eligible {
                 d.execute();
+                if ts != 0 {
+                    lfrc_obs::hist::record(
+                        lfrc_obs::hist::Hist::GraceLatencyNs,
+                        now.saturating_sub(ts),
+                    );
+                }
             }
             self.collector.inner.stats.note_freed(freed);
         }
@@ -581,12 +595,19 @@ impl LocalHandle {
             };
             let mut keep = Vec::new();
             let mut freed = 0u64;
-            for (e, d) in node.items {
+            let now = lfrc_obs::hist::now_ns();
+            for (e, ts, d) in node.items {
                 if e + 2 <= global {
                     d.execute();
+                    if ts != 0 {
+                        lfrc_obs::hist::record(
+                            lfrc_obs::hist::Hist::GraceLatencyNs,
+                            now.saturating_sub(ts),
+                        );
+                    }
                     freed += 1;
                 } else {
-                    keep.push((e, d));
+                    keep.push((e, ts, d));
                 }
             }
             self.collector.inner.stats.note_freed(freed);

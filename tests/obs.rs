@@ -13,8 +13,9 @@ use std::sync::Mutex;
 use lfrc_repro::core::{DcasWord, Heap, Links, McasWord, PtrField, SharedField};
 use lfrc_repro::dcas::mcas::test_support;
 use lfrc_repro::dcas::{set_thread_desc_mode, DescMode};
-use lfrc_repro::harness::{run_ops_recorded, PhaseRecorder};
-use lfrc_repro::obs::{self, Counter, Snapshot};
+use lfrc_repro::harness::{run_ops_recorded, PhaseRecorder, SplitMix64};
+use lfrc_repro::obs::hist::{self, Hist, HistSnapshot, Histogram};
+use lfrc_repro::obs::{self, serve_metrics, Counter, Snapshot};
 use lfrc_sched::{Body, Policy, Schedule};
 
 /// Serializes tests that read the global counter registry.
@@ -308,4 +309,330 @@ fn prometheus_export_carries_all_counters() {
             c.name()
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Log-linear latency histograms (lfrc_obs::hist)
+// ---------------------------------------------------------------------------
+
+/// Property test against the advertised bound: on a seeded log-uniform
+/// sample (the shape op/grace latencies actually take, ns to tens of
+/// ms), every standard quantile of the log-linear histogram lands
+/// within 6.25 % of the exact sorted-sample answer. Runs in all builds
+/// — the standalone [`Histogram`] is deliberately not feature-gated.
+#[test]
+fn histogram_quantile_error_is_bounded_on_known_distribution() {
+    let h = Histogram::new();
+    let mut rng = SplitMix64::new(0xE16_7E1E);
+    let mut exact: Vec<u64> = (0..50_000)
+        .map(|_| {
+            let major = 4 + rng.next() % 21; // log-uniform over [2^4, 2^25)
+            (1u64 << major) + rng.next() % (1u64 << major)
+        })
+        .collect();
+    for &v in &exact {
+        h.record(v);
+    }
+    exact.sort_unstable();
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), exact.len() as u64);
+    let mut prev = 0u64;
+    for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+        let approx = snap.quantile_ns(q);
+        assert!(approx >= prev, "quantiles must be monotone in q");
+        prev = approx;
+        let rank = ((exact.len() as f64 * q).ceil() as usize).clamp(1, exact.len()) - 1;
+        let truth = exact[rank] as f64;
+        let rel = (approx as f64 - truth).abs() / truth;
+        assert!(
+            rel <= 0.0625 + 0.01,
+            "q={q}: approx {approx} vs exact {truth} (rel err {rel:.4})"
+        );
+    }
+    assert_eq!(snap.quantile_ns(1.0), snap.max_ns());
+}
+
+/// Merging per-thread snapshots must equal one histogram fed the
+/// concatenation of every thread's samples, and diff must invert merge.
+#[test]
+fn histogram_merge_equals_concat_across_threads() {
+    let combined = Histogram::new();
+    let mut parts: Vec<HistSnapshot> = Vec::new();
+    for t in 0..4u64 {
+        let part = Histogram::new();
+        let mut rng = SplitMix64::new(0xACC ^ t);
+        for _ in 0..10_000 {
+            let v = rng.next() % 1_000_000;
+            part.record(v);
+            combined.record(v);
+        }
+        parts.push(part.snapshot());
+    }
+    let merged = parts
+        .iter()
+        .fold(HistSnapshot::empty(), |acc, p| acc.merge(p));
+    assert_eq!(merged, combined.snapshot());
+    // diff undoes merge: subtracting all but one part leaves that part
+    // (up to `max`, which diff deliberately keeps from the minuend).
+    let mut rest = merged.clone();
+    for p in &parts[1..] {
+        rest = rest.diff(p);
+    }
+    assert_eq!(rest.count(), parts[0].count());
+    assert_eq!(rest.sum_ns(), parts[0].sum_ns());
+}
+
+/// The registry histograms must behave exactly like the counters at
+/// thread exit: samples recorded by workers that are gone still appear
+/// in the next snapshot, through the same claim/vacate shard registry.
+#[test]
+fn registry_histograms_survive_thread_exit() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    if !obs::enabled() {
+        assert_eq!(HistSnapshot::take(Hist::OpLatencyNs).count(), 0);
+        return;
+    }
+    const THREADS: u64 = 4;
+    const SAMPLES: u64 = 5_000;
+    let before = HistSnapshot::take(Hist::OpLatencyNs);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0x7EAD ^ t);
+                for _ in 0..SAMPLES {
+                    hist::record(Hist::OpLatencyNs, rng.next() % 100_000);
+                }
+                // Worker exits here; its shard is vacated, not dropped.
+            });
+        }
+    });
+    let delta = HistSnapshot::take(Hist::OpLatencyNs).diff(&before);
+    assert_eq!(
+        delta.count(),
+        THREADS * SAMPLES,
+        "histogram samples were lost at thread exit"
+    );
+    assert!(delta.quantile_ns(0.5) <= delta.quantile_ns(0.99));
+}
+
+/// Grace-period latency (retire → free) must flow from the reclaim
+/// crate into the registry histogram: after churn that forces epoch
+/// collection, the `grace_latency_ns` histogram has grown.
+#[test]
+fn grace_latency_flows_from_reclaim_into_registry() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    if !obs::enabled() {
+        return;
+    }
+    let before = HistSnapshot::take(Hist::GraceLatencyNs);
+    let heap: Heap<Leaf, McasWord> = Heap::new();
+    let root: SharedField<Leaf, McasWord> = SharedField::null();
+    for i in 0..2_000 {
+        let fresh = heap.alloc(Leaf { id: i });
+        root.store(Some(&fresh));
+    }
+    root.store(None);
+    lfrc_repro::core::flush_thread();
+    lfrc_repro::dcas::quiesce();
+    let delta = HistSnapshot::take(Hist::GraceLatencyNs).diff(&before);
+    assert!(
+        delta.count() > 0,
+        "epoch collection freed garbage without recording grace latency"
+    );
+    assert!(delta.max_ns() > 0, "grace latencies cannot all be zero ns");
+}
+
+// ---------------------------------------------------------------------------
+// Live endpoint + timeline sampler
+// ---------------------------------------------------------------------------
+
+/// Blocking HTTP GET against the in-process endpoint with a raw
+/// `TcpStream` — the tests exercise the server the way `curl` would.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect to metrics server");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .expect("response has a head/body split")
+        .1
+}
+
+/// Extracts `<series> <value>` sample lines for one histogram family,
+/// asserting the cumulative-bucket invariants Prometheus relies on:
+/// bucket counts nondecreasing in `le`, `+Inf` equal to `_count`.
+fn assert_cumulative_histogram(text: &str, family: &str) -> u64 {
+    let mut prev = 0u64;
+    let mut inf = None;
+    let mut count = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(&format!("{family}_bucket{{le=\"")) {
+            let (le, val) = rest.split_once("\"} ").expect("bucket sample shape");
+            let val: u64 = val.parse().expect("bucket count");
+            assert!(val >= prev, "{family}: cumulative count fell at le={le}");
+            prev = val;
+            if le == "+Inf" {
+                inf = Some(val);
+            }
+        } else if let Some(val) = line.strip_prefix(&format!("{family}_count ")) {
+            count = Some(val.parse::<u64>().expect("count sample"));
+        }
+    }
+    let (inf, count) = (
+        inf.unwrap_or_else(|| panic!("{family}: no +Inf bucket")),
+        count.unwrap_or_else(|| panic!("{family}: no _count")),
+    );
+    assert_eq!(inf, count, "{family}: +Inf bucket must equal _count");
+    count
+}
+
+/// The tentpole end-to-end: scrape `/metrics` from a raw socket *while*
+/// a multi-threaded recorded run is in flight, then again after it
+/// quiesces, and check the live series are present, grammatical in the
+/// cumulative-bucket sense, and agree with the post-run snapshot.
+#[test]
+fn live_metrics_scrape_during_run_and_post_run_agreement() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    if !obs::enabled() {
+        let server = serve_metrics("127.0.0.1:0").expect("inert bind");
+        assert_eq!(server.local_addr(), None, "disabled server must be inert");
+        return;
+    }
+    let server = serve_metrics("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr().expect("enabled server has an address");
+
+    let heap: Heap<Leaf, McasWord> = Heap::new();
+    let root: SharedField<Leaf, McasWord> = SharedField::null();
+    root.store_consume(heap.alloc(Leaf { id: 0 }));
+
+    let mut rec = PhaseRecorder::new("live_scrape_test");
+    let mid_run_scrape = std::sync::Mutex::new(String::new());
+    std::thread::scope(|s| {
+        let scraper = s.spawn(|| {
+            // Land mid-run: the workers below churn for long enough that
+            // a scrape issued immediately is concurrent with them.
+            http_get(addr, "/metrics")
+        });
+        run_ops_recorded(&mut rec, "churn", 4, 20_000, |_, _| {
+            let cur = root.load();
+            let fresh = heap.alloc(Leaf { id: 1 });
+            root.store(Some(&fresh));
+            drop(fresh);
+            drop(cur);
+        });
+        *mid_run_scrape.lock().unwrap() = scraper.join().expect("scraper thread");
+    });
+    root.store(None);
+    lfrc_repro::core::flush_thread();
+
+    let mid = mid_run_scrape.into_inner().unwrap();
+    assert!(mid.starts_with("HTTP/1.1 200 OK\r\n"), "bad status: {mid}");
+    let mid_body = body_of(&mid);
+    assert!(mid_body.contains("# TYPE lfrc_op_latency_ns histogram"));
+    assert!(mid_body.contains("# TYPE lfrc_grace_latency_ns histogram"));
+    assert!(mid_body.contains("lfrc_census_allocs "));
+    assert_cumulative_histogram(mid_body, "lfrc_op_latency_ns");
+
+    // Post-run: the scrape must agree exactly with the in-process
+    // snapshot (nothing is recording anymore).
+    let post_body_owned = http_get(addr, "/metrics");
+    let post = body_of(&post_body_owned);
+    let scraped_ops = assert_cumulative_histogram(post, "lfrc_op_latency_ns");
+    assert_eq!(scraped_ops, HistSnapshot::take(Hist::OpLatencyNs).count());
+    let snap = Snapshot::take();
+    assert!(post.contains(&format!(
+        "lfrc_census_allocs {}\n",
+        snap.get(Counter::CensusAlloc)
+    )));
+
+    // The recorded phase carried its histogram delta: 80k churn ops were
+    // timed into op_latency_ns by the recorded runner.
+    let phase_hists = &rec.phases()[0].hists;
+    let op_delta = &phase_hists
+        .iter()
+        .find(|(h, _)| *h == Hist::OpLatencyNs)
+        .expect("phase carries op latency")
+        .1;
+    assert!(
+        op_delta.count() >= 80_000,
+        "recorded runner timed {} ops, expected the full 80k churn",
+        op_delta.count()
+    );
+    server.stop();
+}
+
+/// The timeline sampler end-to-end through the harness: a recorder with
+/// `start_timeline` produces a JSONL file whose rows parse, are
+/// tick-numbered, and whose count matches the run duration to within
+/// one tick (plus the final flush row).
+#[test]
+fn timeline_sampler_writes_parseable_jsonl_rows() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("lfrc-e16-timeline-{}", std::process::id()));
+    std::env::set_var("LFRC_OBS_DIR", &dir);
+    let interval = std::time::Duration::from_millis(40);
+    let run = std::time::Duration::from_millis(220);
+
+    let mut rec = PhaseRecorder::new("timeline_test");
+    rec.start_timeline(interval).expect("start sampler");
+    let begin = std::time::Instant::now();
+    while begin.elapsed() < run {
+        hist::record(Hist::OpLatencyNs, 1_000);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let path = rec.finish().expect("finish recorder");
+    std::env::remove_var("LFRC_OBS_DIR");
+
+    if !obs::enabled() {
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+    assert!(path.ends_with("timeline_test.json"));
+    let timeline = dir.join("timeline_test.timeline.jsonl");
+    let body = std::fs::read_to_string(&timeline).expect("timeline file written");
+    let rows: Vec<&str> = body.lines().collect();
+    // Duration-derived tick count, within one tick either way, plus the
+    // final flush row `finish` forces.
+    let expected = run.as_millis() as u64 / interval.as_millis() as u64;
+    assert!(
+        (rows.len() as u64) >= expected.saturating_sub(1) && (rows.len() as u64) <= expected + 2,
+        "expected ~{expected} rows for a {run:?} run at {interval:?}, got {}",
+        rows.len()
+    );
+    for (i, row) in rows.iter().enumerate() {
+        assert!(
+            row.starts_with('{') && row.ends_with('}'),
+            "row {i} not an object"
+        );
+        assert_eq!(row.matches('{').count(), row.matches('}').count());
+        assert_eq!(row.matches('"').count() % 2, 0);
+        assert!(
+            row.starts_with(&format!("{{\"tick\":{i},")),
+            "row {i} mis-numbered"
+        );
+        for key in [
+            "\"counters\":{",
+            "\"rates\":{",
+            "\"gauges\":{",
+            "\"hists\":{",
+        ] {
+            assert!(row.contains(key), "row {i} missing {key}");
+        }
+        assert!(row.contains("\"op_latency_ns\""));
+    }
+    assert!(
+        rows.last().unwrap().contains("\"final\":true"),
+        "last row must be the stop flush"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
