@@ -1,0 +1,199 @@
+//! Sustained KV soak: fixed-rate mixed traffic against a sharded
+//! [`KvStore`] with per-op-type tail tracking, a background timeline
+//! sampler, and (optionally) live `/metrics`.
+//!
+//! ```text
+//! # 10s smoke at the default rate:
+//! cargo run --release -p lfrc-bench --bin kv_soak
+//!
+//! # The EXPERIMENTS.md E17 soak: >= 60s, live metrics, timeline JSONL:
+//! LFRC_SOAK=1 LFRC_OBS_ADDR=127.0.0.1:9464 \
+//!   cargo run --release -p lfrc-bench --bin kv_soak
+//! curl -s http://127.0.0.1:9464/metrics | grep lfrc_kv_shard_ops
+//! ```
+//!
+//! Knobs (all environment variables):
+//!
+//! | var               | default   | meaning                               |
+//! |-------------------|-----------|---------------------------------------|
+//! | `LFRC_SOAK`       | unset     | `1` → run the sustained 60 s soak     |
+//! | `LFRC_SOAK_SECS`  | 60 / 10   | explicit duration override            |
+//! | `LFRC_KV_SHARDS`  | 4         | shard count (via [`KvStore::from_env`]) |
+//! | `LFRC_STRATEGY`   | deferred-dec | counted-load strategy              |
+//! | `LFRC_KV_RATE`    | 50000     | aggregate target ops/s (0 = unpaced)  |
+//! | `LFRC_KV_THREADS` | 2         | worker threads                        |
+//! | `LFRC_KV_KEYS`    | 1000000   | key space (half prepopulated)         |
+//! | `LFRC_KV_THETA`   | 0.99      | zipfian skew; `0` → uniform keys      |
+//! | `LFRC_OBS_ADDR`   | unset     | serve `/metrics` + `/timeline` live   |
+//!
+//! The run records every op into the registry histogram (so `/metrics`
+//! exposes live cumulative buckets and the timeline sampler logs
+//! per-tick `p999_ns`) and into per-kind standalone histograms for the
+//! end-of-run p50/p99/p99.9 table. The timeline lands in
+//! `experiment-results/obs/e17_kv.timeline.jsonl`.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lfrc_core::McasWord;
+use lfrc_harness::{run_soak, KeyDist, KvMix, KvOp, KvWorkload, PhaseRecorder, SoakConfig, Table};
+use lfrc_kv::{KvStore, KvWrite};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("{name}={v:?}: expected an unsigned integer")),
+        Err(_) => default,
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("{name}={v:?}: expected a number")),
+        Err(_) => default,
+    }
+}
+
+fn apply(kv: &KvStore<McasWord>, op: &KvOp) {
+    match op {
+        KvOp::Get(k) => {
+            kv.get(*k);
+        }
+        KvOp::Put(k) => {
+            kv.put(*k);
+        }
+        KvOp::Delete(k) => {
+            kv.delete(*k);
+        }
+        KvOp::Scan { start, limit } => {
+            kv.scan(*start, *limit);
+        }
+        KvOp::Batch(entries) => {
+            let writes: Vec<KvWrite> = entries
+                .iter()
+                .map(|&(k, is_put)| {
+                    if is_put {
+                        KvWrite::Put(k)
+                    } else {
+                        KvWrite::Delete(k)
+                    }
+                })
+                .collect();
+            kv.write_batch(&writes);
+        }
+    }
+}
+
+fn main() {
+    let soak = std::env::var("LFRC_SOAK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let secs = env_u64("LFRC_SOAK_SECS", if soak { 60 } else { 10 });
+    let rate = env_u64("LFRC_KV_RATE", 50_000);
+    let threads = env_u64("LFRC_KV_THREADS", 2) as usize;
+    let keys = env_u64("LFRC_KV_KEYS", 1_000_000);
+    let theta = env_f64("LFRC_KV_THETA", 0.99);
+    let dist = if theta == 0.0 {
+        KeyDist::uniform(keys)
+    } else {
+        KeyDist::zipfian(keys, theta)
+    };
+
+    let kv: KvStore<McasWord> = KvStore::from_env();
+    println!(
+        "kv_soak: {} shards, strategy {}, {} keys ({}), {} threads, \
+         target {} ops/s, {secs}s",
+        kv.shard_count(),
+        kv.strategy().name(),
+        keys,
+        dist.label(),
+        threads,
+        rate
+    );
+
+    // Live endpoints, if asked for (fail loudly on a bad address — a
+    // soak asked to expose metrics must not silently run dark).
+    let server = lfrc_obs::serve::serve_from_env().expect("LFRC_OBS_ADDR bind");
+    if let Some(addr) = server.as_ref().and_then(|s| s.local_addr()) {
+        println!("serving http://{addr}/metrics");
+    }
+
+    let mut rec = PhaseRecorder::new("e17_kv");
+    rec.start_timeline(Duration::from_secs(1))
+        .expect("timeline sampler");
+
+    // Prepopulate half the key space with batched writes.
+    rec.phase("prepopulate", || {
+        let mut batch = Vec::with_capacity(512);
+        for k in (0..keys).step_by(2) {
+            batch.push(KvWrite::Put(k));
+            if batch.len() == 512 {
+                kv.write_batch(&batch);
+                batch.clear();
+            }
+        }
+        kv.write_batch(&batch);
+    });
+    println!("prepopulated {} keys", kv.len());
+
+    let streams: Vec<Mutex<KvWorkload>> = (0..threads)
+        .map(|t| {
+            Mutex::new(KvWorkload::new(
+                0xE17_50AC,
+                t,
+                KvMix::READ_HEAVY,
+                dist.clone(),
+            ))
+        })
+        .collect();
+    let cfg = SoakConfig {
+        threads,
+        duration: Duration::from_secs(secs),
+        target_ops_per_sec: rate,
+        kinds: &KvOp::KINDS,
+    };
+    let report = run_soak(&cfg, |t, _| {
+        let op = streams[t].lock().unwrap().next_op();
+        apply(&kv, &op);
+        Some(op.kind())
+    });
+    rec.record_run("soak", &report.stats);
+
+    println!();
+    println!(
+        "soak: {} ops in {secs}s => {:.0} ops/s (target {})",
+        report.stats.ops,
+        report.stats.ops as f64 / secs as f64,
+        rate
+    );
+    println!("{}", report.kind_table().to_markdown());
+    let merged = report.merged();
+    println!(
+        "overall: p50 {} p99 {} p99.9 {} max {}",
+        lfrc_harness::human_ns(merged.quantile_ns(0.5)),
+        lfrc_harness::human_ns(merged.quantile_ns(0.99)),
+        lfrc_harness::human_ns(merged.quantile_ns(0.999)),
+        lfrc_harness::human_ns(merged.max_ns()),
+    );
+
+    // Routing skew as /metrics reports it (top shards by routed ops).
+    let mut counts: Vec<(usize, u64)> = kv.shard_op_counts().into_iter().enumerate().collect();
+    counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let mut t = Table::new(["shard", "routed ops"]);
+    for (shard, n) in counts.iter().take(4) {
+        t.row([shard.to_string(), n.to_string()]);
+    }
+    if lfrc_obs::enabled() {
+        println!("hottest shards (lfrc_kv_shard_ops):");
+        println!("{}", t.to_markdown());
+    }
+
+    match rec.finish() {
+        Ok(path) => println!("obs snapshot: {}", path.display()),
+        Err(e) => eprintln!("obs snapshot failed: {e}"),
+    }
+    drop(server);
+}

@@ -219,9 +219,17 @@ pub fn settle_thread() -> usize {
     });
     if deregister {
         UNSETTLED.fetch_sub(1, Ordering::SeqCst);
+        // Opening the advance gate is the settle's shared, schedulable
+        // step — a SeqCst RMW the epoch's advance predicate reads — so
+        // every registered pin window crosses the settle site exactly
+        // once at its close, even when `IncLocal` cancellation already
+        // resolved every entry (the common case for pure traversals).
+        // Batched writers rely on this firing once per batch scope
+        // (DESIGN.md §5.16), and crash plans target it as "the thread
+        // died settling its batch".
+        yield_point(InstrSite::IncSettle);
     }
     if n > 0 {
-        yield_point(InstrSite::IncSettle);
         lfrc_obs::counters::add(lfrc_obs::Counter::DeferredIncSettle, n as u64);
     }
     n

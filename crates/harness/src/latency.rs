@@ -1,160 +1,10 @@
-//! Fixed-bucket latency histograms for tail-latency experiments.
+//! Latency formatting helpers.
 //!
-//! Lock-freedom's practical promise is not mean throughput but the
-//! *tail*: no operation ever waits on a preempted peer. A histogram with
-//! logarithmic buckets (doubling widths from 2⁰ ns) costs one atomic
-//! increment per sample, so it can sit inside a measured loop without
-//! distorting it. Merging and quantile extraction happen offline.
-//!
-//! **Deprecated:** this module's [`LatencyHistogram`] has a factor-of-two
-//! quantile resolution. [`lfrc_obs::hist::Histogram`] supersedes it with
-//! log-linear buckets (16 linear sub-buckets per doubling, ≤6.25 %
-//! relative quantile error), mergeable snapshots, diffing, and
-//! Prometheus rendering — see the `new_histogram_beats_log2_quantiles`
-//! test below for the measured difference. Only [`human_ns`] remains
-//! un-deprecated here.
-
-use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
-
-/// Number of doubling buckets: covers 1 ns .. ~2⁶³ ns.
-const BUCKETS: usize = 64;
-
-/// A concurrent log₂-bucket latency histogram (nanoseconds).
-///
-/// # Example
-///
-/// ```
-/// #![allow(deprecated)]
-/// use lfrc_harness::latency::LatencyHistogram;
-///
-/// let h = LatencyHistogram::new();
-/// for ns in [10, 20, 40, 80, 10_000] {
-///     h.record_ns(ns);
-/// }
-/// assert_eq!(h.count(), 5);
-/// assert!(h.quantile_ns(0.5) <= h.quantile_ns(0.99));
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use lfrc_obs::hist::Histogram — log-linear buckets (≤6.25 % \
-            relative quantile error vs. this type's factor of two), \
-            mergeable/diffable snapshots, Prometheus rendering"
-)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    max_ns: AtomicU64,
-}
-
-#[allow(deprecated)]
-impl fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LatencyHistogram")
-            .field("count", &self.count())
-            .field("p50_ns", &self.quantile_ns(0.5))
-            .field("p99_ns", &self.quantile_ns(0.99))
-            .field("max_ns", &self.max_ns())
-            .finish()
-    }
-}
-
-#[allow(deprecated)]
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-#[allow(deprecated)]
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: [const { AtomicU64::new(0) }; BUCKETS],
-            count: AtomicU64::new(0),
-            max_ns: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one latency sample, in nanoseconds.
-    pub fn record_ns(&self, ns: u64) {
-        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
-    }
-
-    /// Times `f` and records its duration.
-    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
-        let start = Instant::now();
-        let r = f();
-        self.record_ns(start.elapsed().as_nanos() as u64);
-        r
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Acquire)
-    }
-
-    /// Largest sample seen (exact, unlike the bucketed quantiles).
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns.load(Ordering::Acquire)
-    }
-
-    /// Approximate quantile (upper bound of the bucket containing it).
-    ///
-    /// `q` in `[0, 1]`; returns 0 for an empty histogram. Resolution is
-    /// a factor of two — sufficient for the orders-of-magnitude contrasts
-    /// the stall experiments draw.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Acquire);
-            if seen >= target {
-                // Upper bound of bucket i (2^(i+1) - 1), clamped by the
-                // exact maximum so quantiles never exceed a real sample.
-                return (1u64 << (i + 1)).saturating_sub(1).min(self.max_ns());
-            }
-        }
-        self.max_ns()
-    }
-
-    /// Fraction of samples at or above `threshold_ns` (bucket-resolution:
-    /// counts every bucket whose *lower* bound reaches the threshold, so
-    /// the estimate errs low by at most one bucket).
-    pub fn fraction_at_or_above_ns(&self, threshold_ns: u64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let first_bucket = (64 - threshold_ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        let above: u64 = self.buckets[first_bucket..]
-            .iter()
-            .map(|b| b.load(Ordering::Acquire))
-            .sum();
-        above as f64 / total as f64
-    }
-
-    /// Formats the standard quantile row used in experiment tables.
-    pub fn summary(&self) -> String {
-        format!(
-            "p50={} p90={} p99={} p999={} max={}",
-            human_ns(self.quantile_ns(0.5)),
-            human_ns(self.quantile_ns(0.9)),
-            human_ns(self.quantile_ns(0.99)),
-            human_ns(self.quantile_ns(0.999)),
-            human_ns(self.max_ns())
-        )
-    }
-}
+//! This module once hosted a log₂-bucket `LatencyHistogram`; that shim
+//! is gone — `lfrc_obs::hist::Histogram` (log-linear buckets, ≤6.25 %
+//! relative quantile error, mergeable snapshots, Prometheus rendering)
+//! is the histogram of record, and every caller has been migrated.
+//! What remains is the table formatter the experiment binaries share.
 
 /// Human-readable nanoseconds (`835ns`, `1.2us`, `3.4ms`).
 pub fn human_ns(ns: u64) -> String {
@@ -167,111 +17,8 @@ pub fn human_ns(ns: u64) -> String {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-
-    /// SplitMix64 — the workspace's seeded PRNG of record (no rand crate).
-    fn splitmix64(state: &mut u64) -> u64 {
-        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = *state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// The migration's justification, measured: on the same seeded
-    /// log-uniform latency sample (spanning ns to ms like real op/grace
-    /// latencies), the log-linear `lfrc_obs::hist::Histogram` reports
-    /// quantiles within its advertised 6.25 % of the exact sorted-sample
-    /// answer, while this type's log₂ buckets land much further out.
-    #[test]
-    fn new_histogram_beats_log2_quantiles() {
-        let old = LatencyHistogram::new();
-        let new = lfrc_obs::hist::Histogram::new();
-        let mut state = 0x0E16_00B5_u64 ^ 0x5EED;
-        let mut exact: Vec<u64> = (0..20_000)
-            .map(|_| {
-                // Log-uniform over [2^6, 2^26) ns: exponent then mantissa.
-                let r = splitmix64(&mut state);
-                let major = 6 + (r % 20);
-                let frac = splitmix64(&mut state) % (1u64 << major);
-                (1u64 << major) + frac
-            })
-            .collect();
-        for &v in &exact {
-            old.record_ns(v);
-            new.record(v);
-        }
-        exact.sort_unstable();
-        let snap = new.snapshot();
-        let mut worst_new = 0.0f64;
-        let mut worst_old = 0.0f64;
-        for q in [0.5, 0.9, 0.99] {
-            let target = exact[((exact.len() as f64 * q).ceil() as usize - 1).min(exact.len() - 1)];
-            let rel = |approx: u64| (approx as f64 - target as f64).abs() / target as f64;
-            worst_new = worst_new.max(rel(snap.quantile_ns(q)));
-            worst_old = worst_old.max(rel(old.quantile_ns(q)));
-        }
-        // Upper-bound reporting costs at most one sub-bucket (1/16) of
-        // relative error; allow a hair for the ceil-rank discretization.
-        assert!(
-            worst_new <= 0.0625 + 0.01,
-            "log-linear error {worst_new:.4} above advertised bound"
-        );
-        assert!(
-            worst_old > worst_new,
-            "log2 buckets ({worst_old:.4}) should be strictly coarser than \
-             log-linear ({worst_new:.4})"
-        );
-    }
-
-    #[test]
-    fn quantiles_are_monotone() {
-        let h = LatencyHistogram::new();
-        for i in 1..=1000u64 {
-            h.record_ns(i * 17);
-        }
-        let p50 = h.quantile_ns(0.5);
-        let p90 = h.quantile_ns(0.9);
-        let p99 = h.quantile_ns(0.99);
-        assert!(p50 <= p90 && p90 <= p99);
-        assert!(h.max_ns() >= p99);
-        assert_eq!(h.count(), 1000);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_ns(0.99), 0);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    fn bucket_bounds_contain_samples() {
-        let h = LatencyHistogram::new();
-        h.record_ns(1000);
-        // p100 upper bound must be >= the sample.
-        assert!(h.quantile_ns(1.0) >= 1000);
-        // And within 2x (log2 resolution).
-        assert!(h.quantile_ns(1.0) <= 2048);
-    }
-
-    #[test]
-    fn concurrent_recording() {
-        let h = LatencyHistogram::new();
-        std::thread::scope(|s| {
-            for t in 0..4u64 {
-                let h = &h;
-                s.spawn(move || {
-                    for i in 0..1000 {
-                        h.record_ns(t * 1000 + i + 1);
-                    }
-                });
-            }
-        });
-        assert_eq!(h.count(), 4000);
-    }
 
     #[test]
     fn human_ns_formats() {

@@ -16,16 +16,20 @@ pub mod latency;
 pub mod memstat;
 pub mod obsrec;
 pub mod runner;
+pub mod soak;
 pub mod table;
 pub mod workload;
 
 pub use checker::ConservationChecker;
-#[allow(deprecated)]
-pub use latency::LatencyHistogram;
+pub use latency::human_ns;
 pub use memstat::{page_size, rss_bytes, MemSeries};
 pub use obsrec::{PhaseRecord, PhaseRecorder};
 pub use runner::{
     run_for_duration, run_for_duration_recorded, run_ops, run_ops_recorded, RunStats,
 };
+pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use table::Table;
-pub use workload::{DequeOp, DequeWorkload, Mix, SetOp, SetWorkload, SplitMix64};
+pub use workload::{
+    DequeOp, DequeWorkload, KeyDist, KvMix, KvOp, KvWorkload, Mix, SetOp, SetWorkload, SplitMix64,
+    Zipfian,
+};

@@ -2,7 +2,10 @@
 //!
 //! Experiments must be reproducible run-to-run, so all randomness flows
 //! from seeded [`SplitMix64`] streams (one per thread, derived from the
-//! experiment seed and the thread index).
+//! experiment seed and the thread index). Key skew comes from the
+//! rejection-free [`Zipfian`] sampler (Gray et al.'s method, the one
+//! YCSB uses), so hot-key workloads over millions of keys need no
+//! external dependencies either.
 
 use std::fmt;
 
@@ -46,6 +49,150 @@ impl SplitMix64 {
     /// Bernoulli draw with probability `percent`/100.
     pub fn chance(&mut self, percent: u64) -> bool {
         self.below(100) < percent
+    }
+}
+
+/// SplitMix64 finalizer: a bijective 64-bit mix used to scramble
+/// zipfian ranks across the key space (YCSB's "scrambled zipfian").
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A seeded, rejection-free zipfian **rank** sampler (Gray et al.,
+/// *Quickly generating billion-record synthetic databases*, SIGMOD '94
+/// — the algorithm behind YCSB's generator).
+///
+/// [`Zipfian::sample_rank`] draws rank `k` with probability
+/// `k⁻ᶿ / ζ(n, θ)` (rank 0 most popular) using one uniform draw and a
+/// handful of floating-point operations — no rejection loop, so the
+/// cost is flat regardless of skew. Setup is O(n) (the harmonic sum
+/// `ζ(n, θ)`), paid once per configuration and reused across threads
+/// via `Clone`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl Zipfian {
+    /// A sampler over ranks `[0, n)` with skew `theta` in `(0, 1)`
+    /// (YCSB's default is 0.99; larger is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a nonempty rank space");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(n.min(2), theta);
+        // With n == 1 the eta denominator is 0; the sampler then always
+        // returns rank 0, so any finite value works.
+        let eta = if n == 1 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        };
+        Zipfian {
+            n,
+            theta,
+            zetan,
+            alpha: 1.0 / (1.0 - theta),
+            eta,
+            half_pow_theta: 0.5f64.powf(theta),
+        }
+    }
+
+    /// The generalized harmonic number `ζ(n, θ) = Σ_{i=1..n} i⁻ᶿ`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| (i as f64).powf(-theta)).sum()
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u64 {
+        self.n
+    }
+
+    /// Exact probability of rank `k` (tests, tables).
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!(k < self.n);
+        ((k + 1) as f64).powf(-self.theta) / self.zetan
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample_rank(&self, rng: &mut SplitMix64) -> u64 {
+        // 53-bit uniform in [0, 1).
+        let u = (rng.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + self.half_pow_theta {
+            return 1.min(self.n - 1);
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// How workload keys are drawn from a key space.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Uniform over `[0, n)`.
+    Uniform(u64),
+    /// Scrambled zipfian over `[0, n)`: a [`Zipfian`] rank pushed
+    /// through a bijective 64-bit mix and reduced mod `n`, so the hot
+    /// ranks land on arbitrary (but deterministic) keys spread across
+    /// the space instead of clustering at 0 — YCSB's
+    /// `ScrambledZipfianGenerator`.
+    Zipfian(Zipfian),
+}
+
+impl KeyDist {
+    /// Uniform keys over `[0, n)`.
+    pub fn uniform(n: u64) -> KeyDist {
+        assert!(n > 0, "key space must be nonempty");
+        KeyDist::Uniform(n)
+    }
+
+    /// Scrambled-zipfian keys over `[0, n)` with skew `theta`.
+    pub fn zipfian(n: u64, theta: f64) -> KeyDist {
+        KeyDist::Zipfian(Zipfian::new(n, theta))
+    }
+
+    /// The key space size `n`.
+    pub fn key_space(&self) -> u64 {
+        match self {
+            KeyDist::Uniform(n) => *n,
+            KeyDist::Zipfian(z) => z.ranks(),
+        }
+    }
+
+    /// Short label for tables (`uniform` / `zipf(0.99)`).
+    pub fn label(&self) -> String {
+        match self {
+            KeyDist::Uniform(_) => "uniform".to_string(),
+            KeyDist::Zipfian(z) => format!("zipf({:.2})", z.theta),
+        }
+    }
+
+    /// Draws one key.
+    #[inline]
+    pub fn sample_key(&self, rng: &mut SplitMix64) -> u64 {
+        match self {
+            KeyDist::Uniform(n) => rng.below(*n),
+            KeyDist::Zipfian(z) => mix64(z.sample_rank(rng)) % z.ranks(),
+        }
     }
 }
 
@@ -160,41 +307,188 @@ pub enum SetOp {
 /// A per-thread deterministic stream of set operations with a
 /// configurable read fraction.
 ///
-/// Keys are drawn uniformly from `[0, key_space)`; `read_percent` of
-/// the operations are [`SetOp::Contains`], the rest split evenly
-/// between inserts and removes so the set size stays roughly stable.
+/// Keys are drawn from a [`KeyDist`] (uniform from `[0, key_space)` by
+/// default; use [`SetWorkload::with_dist`] for zipfian skew);
+/// `read_percent` of the operations are [`SetOp::Contains`], the rest
+/// split evenly between inserts and removes so the set size stays
+/// roughly stable.
 #[derive(Debug)]
 pub struct SetWorkload {
     rng: SplitMix64,
     read_percent: u64,
-    key_space: u64,
+    dist: KeyDist,
 }
 
 impl SetWorkload {
-    /// Creates the stream for one thread of an experiment.
+    /// Creates the stream for one thread of an experiment, with uniform
+    /// keys over `[0, key_space)`.
     ///
     /// # Panics
     ///
     /// Panics if `read_percent > 100` or `key_space == 0`.
     pub fn new(seed: u64, thread: usize, read_percent: u64, key_space: u64) -> Self {
+        Self::with_dist(seed, thread, read_percent, KeyDist::uniform(key_space))
+    }
+
+    /// Creates the stream with an explicit key distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_percent > 100`.
+    pub fn with_dist(seed: u64, thread: usize, read_percent: u64, dist: KeyDist) -> Self {
         assert!(read_percent <= 100, "read_percent is a percentage");
-        assert!(key_space > 0, "key_space must be nonempty");
         SetWorkload {
             rng: SplitMix64::for_thread(seed, thread),
             read_percent,
-            key_space,
+            dist,
         }
     }
 
     /// Next operation.
     pub fn next_op(&mut self) -> SetOp {
-        let key = self.rng.below(self.key_space);
+        let key = self.dist.sample_key(&mut self.rng);
         if self.rng.chance(self.read_percent) {
             SetOp::Contains(key)
         } else if self.rng.chance(50) {
             SetOp::Insert(key)
         } else {
             SetOp::Remove(key)
+        }
+    }
+}
+
+/// Operation mix knobs for a [`KvWorkload`].
+///
+/// `get_pct + scan_pct + batch_pct` must be ≤ 100; the remainder is
+/// single-key writes, split evenly between puts and deletes (as are the
+/// writes inside a batch) so the store size stays roughly stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvMix {
+    /// Percentage of point reads ([`KvOp::Get`]).
+    pub get_pct: u64,
+    /// Percentage of bounded range scans ([`KvOp::Scan`]).
+    pub scan_pct: u64,
+    /// Percentage of batched multi-key writes ([`KvOp::Batch`]).
+    pub batch_pct: u64,
+    /// Keys per batch.
+    pub batch_size: usize,
+    /// Keys per scan.
+    pub scan_limit: usize,
+}
+
+impl KvMix {
+    /// The E17 headline mix: 90 % gets, 4 % scans, 2 % batches (of 16),
+    /// 4 % single writes.
+    pub const READ_HEAVY: KvMix = KvMix {
+        get_pct: 90,
+        scan_pct: 4,
+        batch_pct: 2,
+        batch_size: 16,
+        scan_limit: 32,
+    };
+
+    /// A write-heavy contrast mix: 40 % gets, 4 % scans, 16 % batches.
+    pub const WRITE_HEAVY: KvMix = KvMix {
+        get_pct: 40,
+        scan_pct: 4,
+        batch_pct: 16,
+        batch_size: 16,
+        scan_limit: 32,
+    };
+}
+
+/// One KV operation of a generated workload. Batch entries are
+/// `(key, is_put)` pairs — the harness stays structure-agnostic, so the
+/// driver maps them onto its store's write type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Point read.
+    Get(u64),
+    /// Single-key insert.
+    Put(u64),
+    /// Single-key remove.
+    Delete(u64),
+    /// Bounded range scan from `start`.
+    Scan {
+        /// First candidate key.
+        start: u64,
+        /// Maximum keys returned.
+        limit: usize,
+    },
+    /// Batched multi-key write; `true` = put, `false` = delete.
+    Batch(Vec<(u64, bool)>),
+}
+
+impl KvOp {
+    /// Stable op-kind labels, indexed by [`KvOp::kind`] (soak runners
+    /// key per-op-type latency histograms on this).
+    pub const KINDS: [&'static str; 5] = ["get", "put", "delete", "scan", "batch"];
+
+    /// Index into [`KvOp::KINDS`].
+    pub fn kind(&self) -> usize {
+        match self {
+            KvOp::Get(_) => 0,
+            KvOp::Put(_) => 1,
+            KvOp::Delete(_) => 2,
+            KvOp::Scan { .. } => 3,
+            KvOp::Batch(_) => 4,
+        }
+    }
+}
+
+/// A per-thread deterministic stream of KV operations: mix knobs from
+/// [`KvMix`], keys from a [`KeyDist`] (zipfian hot-key skew or uniform).
+#[derive(Debug)]
+pub struct KvWorkload {
+    rng: SplitMix64,
+    mix: KvMix,
+    dist: KeyDist,
+}
+
+impl KvWorkload {
+    /// Creates the stream for one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix percentages exceed 100, or a scan/batch share
+    /// is given size 0.
+    pub fn new(seed: u64, thread: usize, mix: KvMix, dist: KeyDist) -> Self {
+        assert!(
+            mix.get_pct + mix.scan_pct + mix.batch_pct <= 100,
+            "mix percentages exceed 100"
+        );
+        assert!(mix.batch_pct == 0 || mix.batch_size > 0, "empty batches");
+        assert!(mix.scan_pct == 0 || mix.scan_limit > 0, "empty scans");
+        KvWorkload {
+            rng: SplitMix64::for_thread(seed, thread),
+            mix,
+            dist,
+        }
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        let r = self.rng.below(100);
+        let key = self.dist.sample_key(&mut self.rng);
+        if r < self.mix.get_pct {
+            KvOp::Get(key)
+        } else if r < self.mix.get_pct + self.mix.scan_pct {
+            KvOp::Scan {
+                start: key,
+                limit: self.mix.scan_limit,
+            }
+        } else if r < self.mix.get_pct + self.mix.scan_pct + self.mix.batch_pct {
+            let mut writes = Vec::with_capacity(self.mix.batch_size);
+            writes.push((key, self.rng.chance(50)));
+            for _ in 1..self.mix.batch_size {
+                let k = self.dist.sample_key(&mut self.rng);
+                writes.push((k, self.rng.chance(50)));
+            }
+            KvOp::Batch(writes)
+        } else if self.rng.chance(50) {
+            KvOp::Put(key)
+        } else {
+            KvOp::Delete(key)
         }
     }
 }
@@ -261,6 +555,113 @@ mod tests {
         let mut a = SetWorkload::new(5, 1, 75, 64);
         let mut b = SetWorkload::new(5, 1, 75, 64);
         for _ in 0..1_000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    /// The Gray method must reproduce the exact zipfian PMF. Small N so
+    /// the empirical frequencies converge tightly in a fast test.
+    #[test]
+    fn zipfian_matches_exact_pmf() {
+        for theta in [0.5, 0.99] {
+            let z = Zipfian::new(5, theta);
+            let mut rng = SplitMix64::new(0xE17);
+            const DRAWS: u64 = 200_000;
+            let mut counts = [0u64; 5];
+            for _ in 0..DRAWS {
+                counts[z.sample_rank(&mut rng) as usize] += 1;
+            }
+            let total_pmf: f64 = (0..5).map(|k| z.pmf(k)).sum();
+            assert!((total_pmf - 1.0).abs() < 1e-9, "PMF must sum to 1");
+            for (k, &c) in counts.iter().enumerate() {
+                let expect = z.pmf(k as u64) * DRAWS as f64;
+                let rel = (c as f64 - expect).abs() / expect;
+                assert!(
+                    rel < 0.05,
+                    "theta={theta} rank {k}: observed {c}, expected {expect:.0} ({rel:.3} off)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_edge_cases() {
+        // n = 1: every draw is rank 0.
+        let z = Zipfian::new(1, 0.99);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample_rank(&mut rng), 0);
+        }
+        // Large n: ranks stay in range and rank 0 dominates any fixed
+        // deep rank.
+        let z = Zipfian::new(1_000_000, 0.99);
+        let mut hot = 0u64;
+        for _ in 0..10_000 {
+            let r = z.sample_rank(&mut rng);
+            assert!(r < 1_000_000);
+            hot += u64::from(r == 0);
+        }
+        assert!(hot > 200, "rank 0 should be hot, saw {hot}/10000");
+    }
+
+    #[test]
+    fn scrambled_zipfian_keys_spread_but_stay_skewed() {
+        let dist = KeyDist::zipfian(1_000_000, 0.99);
+        let mut rng = SplitMix64::new(42);
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let k = dist.sample_key(&mut rng);
+            assert!(k < 1_000_000);
+            *seen.entry(k).or_insert(0u64) += 1;
+        }
+        let max = seen.values().max().copied().unwrap();
+        // Skew: the hottest key absorbs a visible share of the draws...
+        assert!(max > 1_000, "no hot key emerged (max {max})");
+        // ...but scrambling spreads the tail over many distinct keys.
+        assert!(seen.len() > 5_000, "only {} distinct keys", seen.len());
+    }
+
+    #[test]
+    fn set_workload_zipfian_dist_is_deterministic() {
+        let d = KeyDist::zipfian(512, 0.99);
+        let mut a = SetWorkload::with_dist(5, 1, 75, d.clone());
+        let mut b = SetWorkload::with_dist(5, 1, 75, d);
+        for _ in 0..1_000 {
+            let op = a.next_op();
+            assert_eq!(op, b.next_op());
+            let (SetOp::Contains(k) | SetOp::Insert(k) | SetOp::Remove(k)) = op;
+            assert!(k < 512);
+        }
+    }
+
+    #[test]
+    fn kv_workload_respects_mix() {
+        let mix = KvMix::READ_HEAVY;
+        let mut w = KvWorkload::new(3, 1, mix, KeyDist::uniform(10_000));
+        let mut by_kind = [0u64; 5];
+        for _ in 0..20_000 {
+            let op = w.next_op();
+            by_kind[op.kind()] += 1;
+            if let KvOp::Batch(writes) = &op {
+                assert_eq!(writes.len(), mix.batch_size);
+            }
+            if let KvOp::Scan { limit, .. } = op {
+                assert_eq!(limit, mix.scan_limit);
+            }
+        }
+        let pct = |n: u64| n * 100 / 20_000;
+        assert!((87..=93).contains(&pct(by_kind[0])), "gets {by_kind:?}");
+        assert!((2..=6).contains(&pct(by_kind[3])), "scans {by_kind:?}");
+        assert!((1..=4).contains(&pct(by_kind[4])), "batches {by_kind:?}");
+        assert!(by_kind[1] > 0 && by_kind[2] > 0, "writes {by_kind:?}");
+    }
+
+    #[test]
+    fn kv_workload_is_deterministic() {
+        let d = KeyDist::zipfian(1_000_000, 0.99);
+        let mut a = KvWorkload::new(9, 2, KvMix::WRITE_HEAVY, d.clone());
+        let mut b = KvWorkload::new(9, 2, KvMix::WRITE_HEAVY, d);
+        for _ in 0..2_000 {
             assert_eq!(a.next_op(), b.next_op());
         }
     }

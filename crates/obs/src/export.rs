@@ -91,11 +91,12 @@ impl Snapshot {
 }
 
 /// The full live Prometheus exposition: every counter (from a fresh
-/// [`Snapshot`]) followed by every registry histogram
+/// [`Snapshot`]), every registry histogram
 /// ([`HistSnapshot::take`](crate::hist::HistSnapshot::take)) as a
-/// cumulative-bucket histogram series. This is what the `/metrics`
-/// endpoint serves; with the `enabled` feature off every value reads
-/// zero (the endpoint itself is inert then).
+/// cumulative-bucket histogram series, then every labeled counter
+/// family ([`crate::labels`]). This is what the `/metrics` endpoint
+/// serves; with the `enabled` feature off every value reads zero (the
+/// endpoint itself is inert then).
 pub fn prometheus_exposition() -> String {
     let mut out = Snapshot::take().to_prometheus();
     for h in crate::hist::Hist::ALL {
@@ -104,6 +105,7 @@ pub fn prometheus_exposition() -> String {
                 .to_prometheus(&format!("lfrc_{}", h.name()), h.help()),
         );
     }
+    crate::labels::render_prometheus(&mut out);
     out
 }
 
@@ -190,19 +192,21 @@ mod tests {
                 value
                     .parse::<f64>()
                     .unwrap_or_else(|_| panic!("bad value in {line:?}"));
-                let (name, labels) = match series.split_once('{') {
+                let (name, label) = match series.split_once('{') {
                     Some((n, rest)) => {
                         let rest = rest.strip_suffix('}').expect("unterminated labels");
-                        // We only emit `le="..."`; check the shape.
+                        // We emit exactly one label per sample (`le` on
+                        // histogram buckets, the family's label on
+                        // labeled counters); check the shape.
                         let (k, v) = rest.split_once('=').expect("label needs =");
                         assert!(name_ok(k), "bad label name {k:?}");
                         assert!(
                             v.starts_with('"') && v.ends_with('"'),
                             "unquoted label {v:?}"
                         );
-                        (n, true)
+                        (n, Some(k.to_string()))
                     }
-                    None => (series, false),
+                    None => (series, None),
                 };
                 assert!(name_ok(name), "bad sample name {name:?}");
                 // Map histogram _bucket/_sum/_count samples to their family.
@@ -217,8 +221,15 @@ mod tests {
                     .get(family)
                     .unwrap_or_else(|| panic!("sample {name} before HELP/TYPE"));
                 assert!(e.0 && e.1, "sample {name} before HELP/TYPE");
-                if labels {
-                    assert_eq!(e.2, "histogram", "only histograms carry le labels");
+                match label.as_deref() {
+                    Some("le") => {
+                        assert_eq!(e.2, "histogram", "only histograms carry le labels")
+                    }
+                    Some(_) => assert_eq!(
+                        e.2, "counter",
+                        "non-le labels only appear on labeled counter families"
+                    ),
+                    None => {}
                 }
             }
         }
@@ -244,6 +255,17 @@ mod tests {
             assert!(text.contains(&format!("# TYPE lfrc_{} histogram", h.name())));
             assert!(text.contains(&format!("lfrc_{}_bucket{{le=\"+Inf\"}}", h.name())));
         }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn labeled_families_render_grammatically() {
+        let f = crate::labels::family("export_test_family", "Labeled family.", "shard", 3);
+        f.add(2, 7);
+        let text = prometheus_exposition();
+        assert_prometheus_grammar(&text);
+        assert!(text.contains("# TYPE lfrc_export_test_family counter"));
+        assert!(text.contains("lfrc_export_test_family{shard=\"2\"} 7"));
     }
 
     #[test]

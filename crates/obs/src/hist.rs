@@ -1,10 +1,10 @@
 //! Log-linear latency histograms (HDR-style), sharded per thread.
 //!
-//! `harness::latency::LatencyHistogram`'s log₂ buckets answer "which
-//! order of magnitude" — good enough for the E11 stall contrasts, but a
-//! factor-of-two quantile error and a *shared* bucket array that every
-//! recording thread bounces. This module replaces it on the recorded
-//! paths with the classic HDR layout:
+//! The harness's original log₂-bucket histogram (removed; this module
+//! is its replacement) answered "which order of magnitude" — good
+//! enough for the E11 stall contrasts, but a factor-of-two quantile
+//! error and a *shared* bucket array that every recording thread
+//! bounces. This module uses the classic HDR layout instead:
 //!
 //! * **log₂ major buckets × 16 linear sub-buckets.** A sample `v ≥ 16`
 //!   lands in major bucket `m = ⌊log₂ v⌋`, sub-bucket
@@ -181,8 +181,8 @@ impl fmt::Debug for HistBlock {
 /// A standalone concurrent log-linear histogram.
 ///
 /// Multi-writer (`fetch_add` bumps): share it across worker threads of
-/// one measurement, then read via [`Histogram::snapshot`]. This is the
-/// migration target for `harness::latency::LatencyHistogram`.
+/// one measurement, then read via [`Histogram::snapshot`]. This
+/// replaced the harness's old shared log₂ `LatencyHistogram`.
 ///
 /// # Example
 ///

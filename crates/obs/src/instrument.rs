@@ -106,9 +106,12 @@ pub enum InstrSite {
     /// the calling thread's increment buffer (the count exists only in
     /// TLS from here until settle).
     IncAppend,
-    /// Deferred increment: the pin scope is ending and the buffered
-    /// increments are about to be folded into their objects' counts
-    /// (after cancelling against pending decrements).
+    /// Deferred increment: a pending increment is being settled — either
+    /// a promote folding its `+1` into the object's count, or a pin
+    /// window that buffered increments closing (discarding leaked
+    /// entries and releasing the epoch-advance gate). Fires once per
+    /// batched-write scope, so crash plans can model "died settling the
+    /// batch".
     IncSettle,
     /// Deferred increment: a count release on the DeferredInc path is
     /// about to be epoch-retired (grace-deferred) instead of applied

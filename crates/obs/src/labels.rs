@@ -1,0 +1,280 @@
+//! Dynamically registered **labeled counter families** — per-shard (or
+//! otherwise per-index) counters that cannot be a [`crate::counters`]
+//! enum variant because their cardinality is only known at runtime.
+//!
+//! The fixed counter registry is per-thread sharded because its sites
+//! sit inside the protocol's hot loops. A labeled family serves a
+//! different tier: service-layer tallies like "operations routed to KV
+//! shard 3", bumped once per *service* operation (which already walks a
+//! skip list), so a shared cache-padded `fetch_add` per cell is cheap
+//! enough and keeps the family readable from any thread without
+//! claim/vacate bookkeeping.
+//!
+//! Families are process-global and live for the process lifetime, like
+//! counter shards: two `KvStore`s that register the same family name
+//! share its cells, so totals are cumulative across instances — exactly
+//! how Prometheus counters are meant to behave. Registration dedupes by
+//! name (the label name must match; the visible cell count grows to the
+//! largest registration).
+//!
+//! [`render_prometheus`] appends every family to the text exposition;
+//! [`crate::export::prometheus_exposition`] (and therefore the live
+//! `/metrics` endpoint) calls it after the fixed counters and
+//! histograms. With the `enabled` feature off the whole module is an
+//! inert no-op: [`family`] returns a dummy handle and nothing renders.
+
+/// Hard cap on cells per family. Shard counts beyond this are rejected
+/// at registration — the exposition must stay bounded, and a KV store
+/// with more than 64 shards on this emulator is a misconfiguration.
+pub const MAX_CELLS: usize = 64;
+
+/// Handle to one registered family. Cheap to clone; all clones (and all
+/// later registrations of the same name) share the same cells.
+#[derive(Debug, Clone)]
+pub struct Family {
+    #[cfg(feature = "enabled")]
+    inner: std::sync::Arc<imp::FamilyInner>,
+}
+
+/// Registers (or re-opens) the family `lfrc_<name>` with `cells` label
+/// values `label="0" .. label="<cells-1>"`.
+///
+/// `name` and `label` must be snake_case identifiers (checked). If the
+/// family already exists its `label` must match and its visible cell
+/// count grows to `max(existing, cells)` — so a 4-shard store after a
+/// 16-shard store reuses the first 4 cells.
+///
+/// # Panics
+///
+/// Panics on a malformed name/label, `cells == 0` or `> MAX_CELLS`, or
+/// a label mismatch with an existing family.
+pub fn family(name: &str, help: &str, label: &str, cells: usize) -> Family {
+    assert!(
+        cells > 0 && cells <= MAX_CELLS,
+        "family {name}: cells must be in 1..={MAX_CELLS}, got {cells}"
+    );
+    let ident_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars().next().unwrap().is_ascii_lowercase()
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    };
+    assert!(ident_ok(name), "family name {name:?} is not snake_case");
+    assert!(ident_ok(label), "label name {label:?} is not snake_case");
+    assert!(!help.is_empty(), "family {name}: help text required");
+    #[cfg(feature = "enabled")]
+    {
+        Family {
+            inner: imp::register(name, help, label, cells),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Family {}
+    }
+}
+
+impl Family {
+    /// Adds `n` to cell `idx`. Relaxed shared `fetch_add` — labeled
+    /// families count service-layer events, not protocol hot-path ones.
+    #[inline]
+    pub fn add(&self, idx: usize, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.inner.add(idx, n);
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (idx, n);
+        }
+    }
+
+    /// Increments cell `idx` by one.
+    #[inline]
+    pub fn incr(&self, idx: usize) {
+        self.add(idx, 1);
+    }
+
+    /// Current value of cell `idx` (0 when the feature is off).
+    pub fn get(&self, idx: usize) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.get(idx)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = idx;
+            0
+        }
+    }
+
+    /// Number of visible (rendered) cells; 0 when the feature is off.
+    pub fn cells(&self) -> usize {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.visible()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}
+
+/// Appends every registered family to `out` in Prometheus text format
+/// (`# HELP` / `# TYPE counter` / one labeled sample per visible cell).
+/// No-op when the `enabled` feature is off.
+pub fn render_prometheus(out: &mut String) {
+    #[cfg(feature = "enabled")]
+    imp::render(out);
+    #[cfg(not(feature = "enabled"))]
+    let _ = out;
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    use super::MAX_CELLS;
+
+    /// One cell per label value, padded so neighbouring shards' tallies
+    /// do not false-share a line.
+    #[repr(align(128))]
+    #[derive(Debug, Default)]
+    struct Cell(AtomicU64);
+
+    #[derive(Debug)]
+    pub(super) struct FamilyInner {
+        name: String,
+        help: String,
+        label: String,
+        visible: AtomicUsize,
+        cells: Vec<Cell>,
+    }
+
+    impl FamilyInner {
+        #[inline]
+        pub(super) fn add(&self, idx: usize, n: u64) {
+            self.cells[idx].0.fetch_add(n, Ordering::Relaxed);
+        }
+
+        pub(super) fn get(&self, idx: usize) -> u64 {
+            self.cells[idx].0.load(Ordering::Relaxed)
+        }
+
+        pub(super) fn visible(&self) -> usize {
+            self.visible.load(Ordering::Acquire)
+        }
+    }
+
+    fn registry() -> &'static Mutex<Vec<Arc<FamilyInner>>> {
+        static REGISTRY: OnceLock<Mutex<Vec<Arc<FamilyInner>>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    pub(super) fn register(name: &str, help: &str, label: &str, cells: usize) -> Arc<FamilyInner> {
+        let mut reg = registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(existing) = reg.iter().find(|f| f.name == name) {
+            assert_eq!(
+                existing.label, label,
+                "family {name} re-registered with a different label"
+            );
+            existing.visible.fetch_max(cells, Ordering::AcqRel);
+            return Arc::clone(existing);
+        }
+        let fam = Arc::new(FamilyInner {
+            name: name.to_string(),
+            help: help.to_string(),
+            label: label.to_string(),
+            visible: AtomicUsize::new(cells),
+            // All MAX_CELLS cells up front (8 KiB): growth on a later,
+            // wider registration is then just a `visible` bump — no
+            // reallocation racing concurrent `add`s.
+            cells: (0..MAX_CELLS).map(|_| Cell::default()).collect(),
+        });
+        reg.push(Arc::clone(&fam));
+        fam
+    }
+
+    pub(super) fn render(out: &mut String) {
+        let reg = registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for fam in reg.iter() {
+            out.push_str(&format!(
+                "# HELP lfrc_{name} {help}\n# TYPE lfrc_{name} counter\n",
+                name = fam.name,
+                help = fam.help,
+            ));
+            for i in 0..fam.visible() {
+                out.push_str(&format!(
+                    "lfrc_{name}{{{label}=\"{i}\"}} {val}\n",
+                    name = fam.name,
+                    label = fam.label,
+                    val = fam.get(i),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn family_counts_and_renders() {
+        let f = family("labels_test_ops", "Test family.", "shard", 4);
+        f.incr(0);
+        f.add(3, 41);
+        f.incr(3);
+        assert_eq!(f.get(0), 1);
+        assert_eq!(f.get(3), 42);
+        assert_eq!(f.cells(), 4);
+        let mut out = String::new();
+        render_prometheus(&mut out);
+        assert!(out.contains("# TYPE lfrc_labels_test_ops counter"));
+        assert!(out.contains("lfrc_labels_test_ops{shard=\"0\"} 1"));
+        assert!(out.contains("lfrc_labels_test_ops{shard=\"3\"} 42"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn reregistration_shares_cells_and_grows() {
+        let a = family("labels_test_regrow", "Test family.", "shard", 2);
+        a.incr(1);
+        let b = family("labels_test_regrow", "Test family.", "shard", 8);
+        assert_eq!(b.get(1), 1, "cells are shared across registrations");
+        assert_eq!(a.cells(), 8, "visible count grew for every handle");
+        let narrow = family("labels_test_regrow", "Test family.", "shard", 2);
+        assert_eq!(narrow.cells(), 8, "visible count never shrinks");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    #[should_panic(expected = "different label")]
+    fn label_mismatch_is_rejected() {
+        family("labels_test_mismatch", "Test family.", "shard", 2);
+        family("labels_test_mismatch", "Test family.", "core", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "snake_case")]
+    fn bad_name_is_rejected() {
+        family("Nope-Bad", "Test family.", "shard", 1);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_family_is_inert() {
+        let f = family("labels_test_disabled", "Test family.", "shard", 4);
+        f.incr(0);
+        assert_eq!(f.get(0), 0);
+        assert_eq!(f.cells(), 0);
+        let mut out = String::new();
+        render_prometheus(&mut out);
+        assert!(out.is_empty());
+    }
+}

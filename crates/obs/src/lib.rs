@@ -36,6 +36,10 @@
 //!   ([`serve_metrics`](serve::serve_metrics) / `LFRC_OBS_ADDR`) serving
 //!   `/metrics` Prometheus text and `/timeline` JSON from the live
 //!   registry while an experiment runs.
+//! * [`labels`] — runtime-registered **labeled counter families**
+//!   (per-shard service tallies like `lfrc_kv_shard_ops{shard="3"}`)
+//!   for cardinalities the fixed [`counters`] enum cannot know at
+//!   compile time; rendered into the same exposition.
 //!
 //! A fourth piece, [`instrument`], is **not** feature-gated: it hosts the
 //! cross-crate yield points that `lfrc-sched` turns into deterministic
@@ -63,6 +67,7 @@ pub mod counters;
 pub mod export;
 pub mod hist;
 pub mod instrument;
+pub mod labels;
 pub mod recorder;
 pub mod sampler;
 pub mod serve;
@@ -71,6 +76,7 @@ pub use counters::Counter;
 pub use export::Snapshot;
 pub use hist::{Hist, HistSnapshot, Histogram};
 pub use instrument::InstrSite;
+pub use labels::Family;
 pub use recorder::EventKind;
 pub use sampler::Sampler;
 pub use serve::{serve_from_env, serve_metrics, MetricsServer};

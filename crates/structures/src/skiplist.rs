@@ -470,6 +470,61 @@ impl<W: DcasWord> LfrcSkipList<W> {
         false
     }
 
+    /// Bounded ascending range scan: up to `limit` live keys `>= start`,
+    /// in key order.
+    ///
+    /// The descent and the level-0 walk both use **counted** loads
+    /// (`LFRCLoad` DCAS per hop), which are sound under every
+    /// [`Strategy`] — each hop holds a real count on the node it visits,
+    /// so a concurrent remove can unlink but never free a node mid-walk.
+    /// The scan is not an atomic snapshot: each returned key was live at
+    /// the moment its node was inspected, which is the usual guarantee
+    /// for lock-free range queries (keys inserted or removed while the
+    /// walk passes them may or may not appear).
+    pub fn scan(&self, start: u64, limit: usize) -> Vec<u64> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        let estart = encode_key(start);
+        // Counted top-down descent (as in `contains_counted`) to reach
+        // the last node with key < estart without walking the full list.
+        let mut pred = self.head.load().expect("head sentinel");
+        for lvl in (0..MAX_HEIGHT).rev() {
+            let mut curr = match pred.next[lvl].load() {
+                Some(c) => c,
+                None => continue,
+            };
+            while curr.key < estart {
+                let next = match curr.next[lvl].load() {
+                    Some(n) => n,
+                    None => break,
+                };
+                pred = curr;
+                curr = next;
+            }
+        }
+        // Level-0 walk from pred, collecting live in-range keys.
+        let mut out = Vec::with_capacity(limit.min(64));
+        let mut curr = pred;
+        loop {
+            let next = match curr.next[0].load() {
+                Some(n) => n,
+                None => break,
+            };
+            if next.key == TAIL_KEY {
+                break;
+            }
+            if next.key >= estart && next.marked.load() == 0 {
+                out.push(next.key - 1); // decode
+                if out.len() == limit {
+                    break;
+                }
+            }
+            curr = next;
+        }
+        out
+    }
+
     /// Number of live keys (O(n) level-0 walk; diagnostics).
     pub fn len(&self) -> usize {
         let mut n = 0;
@@ -746,6 +801,42 @@ mod tests {
         assert!(s.contains(STABLE));
         drop(s);
         assert_census_drains(&census);
+    }
+
+    #[test]
+    fn scan_returns_ordered_live_range() {
+        let s: LfrcSkipList<McasWord> = LfrcSkipList::new();
+        for k in (0..100u64).rev() {
+            s.insert(k * 10);
+        }
+        s.remove(40);
+        assert_eq!(s.scan(25, 4), vec![30, 50, 60, 70]);
+        assert_eq!(s.scan(30, 3), vec![30, 50, 60]);
+        assert_eq!(s.scan(0, 2), vec![0, 10]);
+        // Past the end: empty, not panic.
+        assert_eq!(s.scan(991, 8), Vec::<u64>::new());
+        // limit 0 and oversized limits.
+        assert_eq!(s.scan(0, 0), Vec::<u64>::new());
+        assert_eq!(s.scan(960, usize::MAX), vec![960, 970, 980, 990]);
+    }
+
+    #[test]
+    fn scan_every_strategy_matches_contains() {
+        for strategy in Strategy::ALL {
+            let s: LfrcSkipList<McasWord> = LfrcSkipList::with_strategy(strategy);
+            for k in 0..64u64 {
+                s.insert(k * 3);
+            }
+            for k in (0..64u64).step_by(2) {
+                s.remove(k * 3);
+            }
+            let got = s.scan(0, usize::MAX);
+            let want: Vec<u64> = (0..64u64).filter(|k| k % 2 == 1).map(|k| k * 3).collect();
+            assert_eq!(got, want, "{strategy}");
+            let census = std::sync::Arc::clone(s.heap().census());
+            drop(s);
+            assert_census_drains(&census);
+        }
     }
 
     #[test]

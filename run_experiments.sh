@@ -28,4 +28,17 @@ echo "=== e12_pool ==="
     cargo bench -q -p lfrc-bench --bench e12_pool --no-default-features --features obs
 } | tee "$out/e12_pool_regen.txt"
 
+# E17 is two-part: the shard-count × skew sweep and batch-amortization
+# tables come from the bench, then the sustained soak (>= 60s, paced)
+# records the per-op-type tail table and writes the timeline JSONL to
+# $out/obs/e17_kv.timeline.jsonl.
+echo "=== e17_kv ==="
+{
+    cargo bench -q -p lfrc-bench --bench e17_kv
+    echo
+    echo "== sustained soak (LFRC_SOAK=1) =="
+    LFRC_SOAK=1 LFRC_OBS_DIR="$out/obs" \
+        cargo run --release -q -p lfrc-bench --bin kv_soak
+} | tee "$out/e17_kv.txt"
+
 echo "All experiment outputs written to $out/"

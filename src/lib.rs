@@ -14,6 +14,8 @@
 //!   GC-dependent and LFRC forms, published and repaired pops;
 //! * [`structures`] — Treiber stack and Michael–Scott queue, GC and LFRC
 //!   forms (the paper's breadth claim);
+//! * [`kv`] — the sharded key-value front end over LFRC skip lists
+//!   (hash routing, batched pin-amortized writes, per-shard telemetry);
 //! * [`baselines`] — Valois-style freelist RC and locked structures;
 //! * [`harness`] — workload/measurement machinery for EXPERIMENTS.md;
 //! * [`obs`] — sharded protocol counters, flight recorder, and
@@ -31,6 +33,7 @@ pub use lfrc_core as core;
 pub use lfrc_dcas as dcas;
 pub use lfrc_deque as deque;
 pub use lfrc_harness as harness;
+pub use lfrc_kv as kv;
 pub use lfrc_obs as obs;
 pub use lfrc_pool as pool;
 pub use lfrc_reclaim as reclaim;
